@@ -1,0 +1,40 @@
+"""Ablation A2 — cluster-validity index used by the metric tuner.
+
+The paper uses the Davies–Bouldin index.  This ablation compares the number
+of clusters selected by Davies–Bouldin, silhouette and Calinski–Harabasz on
+the same dendrogram.
+"""
+
+from benchmarks.conftest import print_section
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.tuner import MetricTuner
+from repro.viz.tables import format_table
+
+
+def run_ablation(vectors):
+    dendrogram = AgglomerativeClustering().fit(vectors)
+    selections = {}
+    for index in ("davies_bouldin", "silhouette", "calinski_harabasz"):
+        _, curve = MetricTuner(index=index, max_clusters=10).select(vectors, dendrogram)
+        best_k, best_score, _ = curve.best()
+        selections[index] = (best_k, best_score)
+    return selections
+
+
+def test_ablation_validity_index_choice(benchmark, bench_result):
+    vectors = bench_result.vectorized.vectors
+    selections = benchmark.pedantic(run_ablation, args=(vectors,), rounds=1, iterations=1)
+
+    print_section("Ablation A2 — validity index vs selected number of clusters")
+    print(
+        format_table(
+            ["validity index", "selected k", "best score"],
+            [[name, k, score] for name, (k, score) in selections.items()],
+        )
+    )
+
+    # The paper's choice selects five patterns.
+    assert selections["davies_bouldin"][0] == 5
+    # The alternatives land in a sane range (they need not agree exactly).
+    for name, (k, _) in selections.items():
+        assert 2 <= k <= 10

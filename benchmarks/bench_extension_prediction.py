@@ -1,0 +1,80 @@
+"""Extension E1 — per-pattern traffic prediction accuracy.
+
+The paper motivates the pattern model with forward-looking network
+management (load balancing, tower selection by predicted load).  This
+benchmark quantifies that claim on the synthetic city: it backtests four
+predictors (naive, seasonal naive, spectral, pattern-aware) on a sample of
+towers of every pattern and reports the error per pattern.
+
+Shape targets: the seasonality-aware predictors (seasonal naive, spectral,
+pattern) beat the naive baseline on every pattern; the pattern-aware
+predictor is competitive with per-tower seasonal models, showing that the
+five patterns carry the predictive information.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.analysis.temporal import weekly_profile
+from repro.predict.baselines import NaivePredictor, SeasonalNaivePredictor
+from repro.predict.evaluate import evaluate_forecast
+from repro.predict.pattern import PatternPredictor
+from repro.predict.spectral import SpectralPredictor
+from repro.utils.timeutils import SLOTS_PER_DAY
+from repro.viz.tables import format_table
+
+HORIZON = SLOTS_PER_DAY  # forecast one day ahead
+TOWERS_PER_PATTERN = 5
+
+
+def run_prediction_study(result):
+    window = result.window
+    train_slots = window.num_slots - HORIZON
+    rows = {}
+    for cluster in range(result.num_clusters):
+        region = result.region_of_cluster(cluster)
+        cluster_profile = weekly_profile(result.cluster_aggregate(cluster), window)
+        members = result.cluster_members(cluster)[:TOWERS_PER_PATTERN]
+        errors = {"naive": [], "seasonal": [], "spectral": [], "pattern": []}
+        for row in members:
+            series = result.vectorized.raw.traffic[row]
+            train, actual = series[:train_slots], series[train_slots:]
+            forecasts = {
+                "naive": NaivePredictor().fit(train).predict(HORIZON),
+                "seasonal": SeasonalNaivePredictor().fit(train).predict(HORIZON),
+                "spectral": SpectralPredictor().fit(train).predict(HORIZON),
+                "pattern": PatternPredictor(cluster_profile).fit(train).predict(HORIZON),
+            }
+            for name, forecast in forecasts.items():
+                errors[name].append(evaluate_forecast(actual, forecast).smape)
+        rows[region] = {name: float(np.mean(values)) for name, values in errors.items()}
+    return rows
+
+
+def test_extension_prediction_per_pattern(benchmark, bench_result):
+    rows = benchmark.pedantic(run_prediction_study, args=(bench_result,), rounds=1, iterations=1)
+
+    print_section("Extension E1 — one-day-ahead forecast error (sMAPE) per pattern")
+    print(
+        format_table(
+            ["pattern", "naive", "seasonal naive", "spectral", "pattern-aware"],
+            [
+                [region.value, e["naive"], e["seasonal"], e["spectral"], e["pattern"]]
+                for region, e in rows.items()
+            ],
+        )
+    )
+
+    for region, errors in rows.items():
+        # Seasonality-aware predictors beat the naive last-value baseline.
+        assert errors["seasonal"] < errors["naive"]
+        assert errors["pattern"] < errors["naive"]
+        # The pattern-aware predictor is a usable forecaster on its own.
+        assert errors["pattern"] < 0.6
+
+    # Averaged over patterns, the pattern-aware predictor is competitive with
+    # the per-tower seasonal naive model (within 50% relative error).
+    mean_pattern = np.mean([e["pattern"] for e in rows.values()])
+    mean_seasonal = np.mean([e["seasonal"] for e in rows.values()])
+    print(f"\nmean sMAPE: pattern-aware {mean_pattern:.3f} vs seasonal naive {mean_seasonal:.3f}")
+    assert mean_pattern < 1.5 * mean_seasonal

@@ -1,0 +1,57 @@
+"""Figure 3 — normalised traffic profiles of residential vs business towers.
+
+Shape targets: residential towers show two peaks (midday and evening) and
+stay relatively high across the night; business-district (office) towers show
+one midday peak and drop close to zero at night.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.synth.regions import RegionType
+from repro.utils.timeutils import SLOTS_PER_DAY
+from repro.viz.ascii import sparkline
+from repro.viz.figures import daily_profiles
+
+
+def build_fig3(scenario, num_towers=4):
+    truth = scenario.ground_truth_labels()
+    resident_rows = np.nonzero(truth == RegionType.RESIDENT.index)[0][:num_towers]
+    office_rows = np.nonzero(truth == RegionType.OFFICE.index)[0][:num_towers]
+    return (
+        daily_profiles(scenario.traffic, resident_rows, day=3),
+        daily_profiles(scenario.traffic, office_rows, day=3),
+    )
+
+
+def test_fig03_resident_vs_business_profiles(benchmark, bench_scenario):
+    resident, office = benchmark(build_fig3, bench_scenario)
+
+    print_section("Figure 3 — residential vs business-district tower profiles")
+    for index, profile in enumerate(resident):
+        print(f"resident tower {index}: {sparkline(profile)}")
+    for index, profile in enumerate(office):
+        print(f"office   tower {index}: {sparkline(profile)}")
+
+    night = slice(1 * 6, 5 * 6)      # 01:00-05:00
+    evening = slice(20 * 6, 23 * 6)  # 20:00-23:00
+    midday = slice(10 * 6, 14 * 6)   # 10:00-14:00
+
+    # Residential towers keep meaningful evening/night traffic.
+    resident_evening = resident[:, evening].mean()
+    office_evening = office[:, evening].mean()
+    print(f"\nmean normalised evening traffic  resident={resident_evening:.2f} office={office_evening:.2f}")
+    assert resident_evening > office_evening
+
+    # Office towers are close to zero at night but high at midday.
+    office_night = office[:, night].mean()
+    office_midday = office[:, midday].mean()
+    print(f"office night={office_night:.2f} vs midday={office_midday:.2f}")
+    assert office_midday > 3 * office_night
+
+    # Residential peak happens in the evening, office peak around midday.
+    resident_peak_hours = np.argmax(resident, axis=1) * 24.0 / SLOTS_PER_DAY
+    office_peak_hours = np.argmax(office, axis=1) * 24.0 / SLOTS_PER_DAY
+    print(f"resident peak hours: {np.round(resident_peak_hours, 1)}")
+    print(f"office   peak hours: {np.round(office_peak_hours, 1)}")
+    assert np.median(resident_peak_hours) > np.median(office_peak_hours)

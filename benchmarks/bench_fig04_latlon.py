@@ -1,0 +1,38 @@
+"""Figure 4 — one-day profiles of randomly selected towers ordered by
+latitude/longitude.
+
+Shape target: across randomly selected towers, peak hours are spread over a
+large part of the day (the paper reports a spread of roughly 10 hours), which
+motivates the clustering.
+"""
+
+from benchmarks.conftest import print_section
+from repro.viz.ascii import sparkline
+from repro.viz.figures import coordinate_strip
+
+
+def build_fig4(scenario):
+    lats, lons = scenario.city.tower_coordinates()
+    by_latitude = coordinate_strip(scenario.traffic, lats, num_towers=40, day=3, rng=1)
+    by_longitude = coordinate_strip(scenario.traffic, lons, num_towers=40, day=3, rng=2)
+    return by_latitude, by_longitude
+
+
+def test_fig04_latitude_longitude_strips(benchmark, bench_scenario):
+    by_latitude, by_longitude = benchmark(build_fig4, bench_scenario)
+
+    print_section("Figure 4 — randomly selected towers ordered by latitude/longitude")
+    print("(a) by latitude — one sparkline per tower, south to north")
+    for row in range(0, by_latitude.num_towers, 5):
+        print(f"  lat {by_latitude.sort_values[row]:.3f}  {sparkline(by_latitude.profiles[row])}")
+    print("(b) by longitude — one sparkline per tower, west to east")
+    for row in range(0, by_longitude.num_towers, 5):
+        print(f"  lon {by_longitude.sort_values[row]:.3f}  {sparkline(by_longitude.profiles[row])}")
+
+    spread_lat = by_latitude.peak_hour_spread()
+    spread_lon = by_longitude.peak_hour_spread()
+    print(f"\npeak-hour spread: latitude strip {spread_lat:.1f} h, longitude strip {spread_lon:.1f} h")
+
+    # Shape: random towers peak at very different times (paper: ~10 hours).
+    assert spread_lat >= 6.0
+    assert spread_lon >= 6.0

@@ -1,0 +1,72 @@
+"""Figure 6 — DBI curve, per-cluster distance CDFs and the five patterns.
+
+Shape targets: the Davies–Bouldin curve is minimised at five clusters; the
+per-cluster distance CDFs rise quickly (most towers are close to their
+centroid); the five centroid profiles match the paper's qualitative shapes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.tuner import MetricTuner
+from repro.cluster.validity import centroid_distance_cdf
+from repro.viz.ascii import sparkline
+from repro.viz.tables import format_table
+
+
+def run_clustering(vectors):
+    dendrogram = AgglomerativeClustering().fit(vectors)
+    labels, curve = MetricTuner(max_clusters=10).select(vectors, dendrogram)
+    return dendrogram, labels, curve
+
+
+def test_fig06_pattern_identification(benchmark, bench_result):
+    vectors = bench_result.vectorized.vectors
+    dendrogram, labels, curve = benchmark.pedantic(
+        run_clustering, args=(vectors,), rounds=1, iterations=1
+    )
+
+    print_section("Figure 6 — DBI curve and the five identified patterns")
+    print("(a) Davies-Bouldin index vs number of clusters")
+    print(format_table(["clusters", "DBI", "threshold"], [
+        [row["num_clusters"], row["score"], row["threshold"]] for row in curve.as_rows()
+    ]))
+    best_k, best_score, best_threshold = curve.best()
+    print(f"\noptimal cut: k={best_k} (DBI={best_score:.3f}, threshold={best_threshold:.2f})")
+
+    # Shape: five patterns minimise the DBI.
+    assert best_k == 5
+
+    # (b) CDF of distances to the centroid: the curves rise quickly — the bulk
+    # of each cluster's towers sits within a narrow band of distances (the
+    # paper reports 80% of towers within distance 10 of their centroid).
+    curves = centroid_distance_cdf(vectors, labels, num_points=50)
+    print("\n(b) per-cluster CDF of distance to centroid")
+    for label, (grid, cdf) in curves.items():
+        members = np.nonzero(labels == label)[0]
+        distances = np.linalg.norm(
+            vectors[members] - vectors[members].mean(axis=0), axis=1
+        )
+        median = float(np.median(distances))
+        p80 = float(np.quantile(distances, 0.8))
+        print(
+            f"  cluster #{label + 1}: median distance {median:.1f}, "
+            f"80th percentile {p80:.1f}"
+        )
+        assert cdf[-1] >= 0.999
+        # Rapidly increasing CDF: the 80th percentile lies within 40% of the median.
+        if members.size >= 5:
+            assert p80 <= 1.4 * median
+
+    # (c)-(g) centroid daily profiles of the five patterns.
+    print("\n(c)-(g) centroid weekly profiles (sparkline of the first 7 days)")
+    from repro.utils.timeutils import SLOTS_PER_DAY
+
+    for label in range(5):
+        centroid = bench_result.cluster_centroid(label)
+        week = centroid[: 7 * SLOTS_PER_DAY]
+        region = bench_result.region_of_cluster(label)
+        print(f"  #{label + 1} {region.value:<13} {sparkline(week[::7])}")
+
+    assert np.unique(labels).size == 5

@@ -1,0 +1,58 @@
+"""Figure 7 — geographical distribution of the five identified patterns.
+
+Shape targets: office/entertainment towers concentrate near the city centre,
+residential towers on the surrounding areas, comprehensive towers spread
+uniformly across the city.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.geo.grid import cluster_density_maps
+from repro.synth.regions import RegionType
+from repro.utils.geometry import haversine_km
+from repro.viz.ascii import ascii_heatmap
+
+
+def build_fig7(scenario, result):
+    lats, lons = scenario.city.tower_coordinates()
+    maps = cluster_density_maps(lats, lons, result.labels, num_rows=20, num_cols=20)
+    return maps, lats, lons
+
+
+def test_fig07_cluster_density_maps(benchmark, bench_scenario, bench_result):
+    maps, lats, lons = benchmark(build_fig7, bench_scenario, bench_result)
+
+    print_section("Figure 7 — geographical distribution of the five patterns")
+    center_lat = float(np.mean(lats))
+    center_lon = float(np.mean(lons))
+
+    radial_distance = {}
+    for label, density in maps.items():
+        region = bench_result.region_of_cluster(label)
+        members = bench_result.cluster_members(label)
+        member_distance = haversine_km(
+            center_lat, center_lon, lats[members], lons[members]
+        )
+        radial_distance[region] = float(np.mean(member_distance))
+        print(f"\ncluster #{label + 1} ({region.value}), mean distance from centre "
+              f"{radial_distance[region]:.2f} km")
+        print(ascii_heatmap(np.sqrt(density / max(density.max(), 1))))
+
+    # Shape: office closer to the centre than residential.
+    assert radial_distance[RegionType.OFFICE] < radial_distance[RegionType.RESIDENT]
+    # Entertainment also central compared with residential.
+    assert radial_distance[RegionType.ENTERTAINMENT] < radial_distance[RegionType.RESIDENT]
+    # Comprehensive towers cover a wide area: their radial spread is large.
+    comp_label = bench_result.cluster_of_region(RegionType.COMPREHENSIVE)
+    comp_members = bench_result.cluster_members(comp_label)
+    comp_spread = float(
+        np.std(haversine_km(center_lat, center_lon, lats[comp_members], lons[comp_members]))
+    )
+    office_label = bench_result.cluster_of_region(RegionType.OFFICE)
+    office_members = bench_result.cluster_members(office_label)
+    office_spread = float(
+        np.std(haversine_km(center_lat, center_lon, lats[office_members], lons[office_members]))
+    )
+    print(f"\nradial spread: comprehensive {comp_spread:.2f} km vs office {office_spread:.2f} km")
+    assert comp_spread > 0

@@ -1,0 +1,49 @@
+"""Figure 8 — case-study validation of the labels in two geographic windows.
+
+Shape target: inside two randomly chosen windows, the functional region
+inferred from a tower's traffic pattern matches the ground-truth functional
+region of the area the tower sits in for the vast majority of towers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.geo.validation import validate_case_study
+
+
+def build_fig8(scenario, result):
+    lats, lons = scenario.city.tower_coordinates()
+    truth = scenario.ground_truth_labels()
+    lat_mid = float(np.median(lats))
+    lon_mid = float(np.median(lons))
+    windows = [
+        ((float(lats.min()), lat_mid), (float(lons.min()), lon_mid)),
+        ((lat_mid, float(lats.max())), (lon_mid, float(lons.max()))),
+    ]
+    results = [
+        validate_case_study(
+            result.labeling,
+            result.labels,
+            truth,
+            lats,
+            lons,
+            lat_range=lat_range,
+            lon_range=lon_range,
+        )
+        for lat_range, lon_range in windows
+    ]
+    return results
+
+
+def test_fig08_case_study_validation(benchmark, bench_scenario, bench_result):
+    results = benchmark(build_fig8, bench_scenario, bench_result)
+
+    print_section("Figure 8 — case-study validation of the geographic labels")
+    for index, case in enumerate(results):
+        print(
+            f"area {'AB'[index]}: towers={case.num_towers} matching={case.num_matching} "
+            f"agreement={case.agreement:.2%}"
+        )
+        assert case.num_towers > 0
+        # The labels attached to towers match the functional regions they sit in.
+        assert case.agreement >= 0.85

@@ -1,0 +1,72 @@
+"""Figure 10 — weekday/weekend traffic amount ratio and peak-valley ratios.
+
+Shape targets (paper): office ratio ≈1.79 and transport ≈1.49 are clearly
+above 1; resident/entertainment/comprehensive sit near 1; transport has by
+far the largest peak-valley ratio on both weekdays and weekends.
+"""
+
+from benchmarks.conftest import print_section
+from repro.analysis.timedomain import peak_valley_features, weekday_weekend_ratio
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+PAPER_RATIOS = {
+    RegionType.RESIDENT: 1.0,
+    RegionType.TRANSPORT: 1.49,
+    RegionType.OFFICE: 1.79,
+    RegionType.ENTERTAINMENT: 1.0,
+    RegionType.COMPREHENSIVE: 1.0,
+}
+
+
+def build_fig10(result, cluster_series):
+    window = result.window
+    rows = []
+    for label, series in cluster_series.items():
+        region = result.region_of_cluster(label)
+        ratio = weekday_weekend_ratio(series, window)
+        features = peak_valley_features(series, window)
+        rows.append(
+            {
+                "region": region,
+                "amount_ratio": ratio,
+                "weekday_pv": features.weekday_ratio,
+                "weekend_pv": features.weekend_ratio,
+            }
+        )
+    return rows
+
+
+def test_fig10_weekday_weekend_and_peak_valley_ratios(benchmark, bench_result, cluster_series):
+    rows = benchmark(build_fig10, bench_result, cluster_series)
+
+    print_section("Figure 10 — weekday/weekend and peak-valley ratios per pattern")
+    print(
+        format_table(
+            ["region", "weekday/weekend (measured)", "paper", "weekday peak-valley", "weekend peak-valley"],
+            [
+                [
+                    row["region"].value,
+                    row["amount_ratio"],
+                    PAPER_RATIOS[row["region"]],
+                    row["weekday_pv"],
+                    row["weekend_pv"],
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+    ratios = {row["region"]: row["amount_ratio"] for row in rows}
+    pv_weekday = {row["region"]: row["weekday_pv"] for row in rows}
+
+    # Office and transport clearly above one; the three others near one.
+    assert ratios[RegionType.OFFICE] > 1.25
+    assert ratios[RegionType.TRANSPORT] > 1.15
+    for region in (RegionType.RESIDENT, RegionType.ENTERTAINMENT, RegionType.COMPREHENSIVE):
+        assert 0.8 < ratios[region] < 1.25
+    # Office ratio exceeds transport ratio, as in the paper (1.79 vs 1.49).
+    assert ratios[RegionType.OFFICE] > ratios[RegionType.TRANSPORT]
+
+    # Transport has the largest weekday peak-valley ratio.
+    assert max(pv_weekday, key=pv_weekday.get) is RegionType.TRANSPORT

@@ -1,0 +1,57 @@
+"""Figure 11 — interrelationships between the traffic patterns.
+
+Shape targets (paper): the residential evening peak lags the transport
+evening rush by ~3 hours; the office peak falls between the two transport
+rush hours; the comprehensive pattern is nearly identical to the average over
+all towers.
+"""
+
+from benchmarks.conftest import print_section
+from repro.analysis.interrelations import (
+    average_daily_profile,
+    evening_peak_lag_hours,
+    pattern_similarity,
+)
+from repro.synth.regions import RegionType
+from repro.viz.ascii import sparkline
+
+
+def build_fig11(result, cluster_series):
+    window = result.window
+    profiles = {}
+    for label, series in cluster_series.items():
+        region = result.region_of_cluster(label)
+        profiles[region] = average_daily_profile(series, window, weekend=False)
+    overall = average_daily_profile(result.vectorized.raw.aggregate(), window, weekend=False)
+    return profiles, overall
+
+
+def test_fig11_pattern_interrelationships(benchmark, bench_result, cluster_series):
+    profiles, overall = benchmark(build_fig11, bench_result, cluster_series)
+
+    print_section("Figure 11 — interrelationships between patterns (weekday profiles)")
+    for region, profile in profiles.items():
+        print(f"{region.value:<14} {sparkline(profile)}")
+    print(f"{'all towers':<14} {sparkline(overall)}")
+
+    # Row 1: resident evening peak lags the transport evening rush by 1-6 h.
+    lag = evening_peak_lag_hours(profiles[RegionType.RESIDENT], profiles[RegionType.TRANSPORT])
+    print(f"\nresident evening peak lags transport evening rush by {lag:.1f} h (paper: ~3 h)")
+    assert 1.0 <= lag <= 6.0
+
+    # Row 2: the office peak falls between the transport rush hours.
+    import numpy as np
+
+    office_peak_hour = float(np.argmax(profiles[RegionType.OFFICE])) * 24.0 / len(overall)
+    print(f"office peak at {office_peak_hour:.1f} h (between the 8h and 18h rushes)")
+    assert 8.0 < office_peak_hour < 18.0
+
+    # Row 3: comprehensive ≈ average of all towers.
+    similarity = pattern_similarity(profiles[RegionType.COMPREHENSIVE], overall)
+    print(f"correlation(comprehensive, all-tower average) = {similarity:.3f}")
+    assert similarity > 0.9
+    # And it is the single most similar pattern to the overall average.
+    similarities = {
+        region: pattern_similarity(profile, overall) for region, profile in profiles.items()
+    }
+    assert max(similarities, key=similarities.get) is RegionType.COMPREHENSIVE

@@ -1,0 +1,39 @@
+"""Figure 13 — variance of DFT amplitude across the identified patterns.
+
+Shape target: the cross-pattern variance of the (normalised) DFT amplitude
+peaks at the principal frequency components — those frequencies are the most
+discriminative ones for telling patterns apart.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.spectral.variance import amplitude_variance_across_groups, most_discriminative_frequencies
+from repro.viz.ascii import ascii_line_plot
+
+
+def build_fig13(result, cluster_series):
+    frequencies, variances = amplitude_variance_across_groups(
+        cluster_series, max_frequency=100
+    )
+    top = most_discriminative_frequencies(cluster_series, count=5)
+    return frequencies, variances, top
+
+
+def test_fig13_amplitude_variance(benchmark, bench_result, cluster_series):
+    frequencies, variances, top = benchmark(build_fig13, bench_result, cluster_series)
+
+    print_section("Figure 13 — variance of DFT amplitude across the five patterns")
+    print(ascii_line_plot(variances[1:], title="variance of normalised |DFT| for k = 1..100"))
+    components = bench_result.components
+    print(f"\nprincipal components: {components.labels()}")
+    print(f"five most discriminative frequencies: {top.tolist()}")
+
+    # The day and half-day components are among the most discriminative ones.
+    assert components.day in top.tolist()
+    assert components.half_day in top.tolist()
+
+    # Their variance clearly exceeds the background level.
+    background = np.median(variances[1:101])
+    assert variances[components.day] > 5 * background
+    assert variances[components.half_day] > 5 * background

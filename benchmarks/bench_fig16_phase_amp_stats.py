@@ -1,0 +1,65 @@
+"""Figure 16 — mean ± standard deviation of amplitude and phase per pattern.
+
+Shape targets: per-cluster amplitude/phase statistics are tight (standard
+deviations well below the spread of means across clusters) so the three
+frequency components separate the patterns; the mean daily phases of
+resident, transport/comprehensive and office are ordered consistently with
+the home → transport → office commute.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.spectral.features import cluster_feature_statistics
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+
+def build_fig16(result):
+    return cluster_feature_statistics(result.frequency_features, result.labels)
+
+
+def test_fig16_per_cluster_feature_statistics(benchmark, bench_result):
+    statistics = benchmark(build_fig16, bench_result)
+
+    print_section("Figure 16 — mean and std of amplitude/phase per pattern")
+    rows = []
+    for label, per_component in statistics.items():
+        region = bench_result.region_of_cluster(label)
+        for component, values in per_component.items():
+            amplitude_mean, amplitude_std = values["amplitude"]
+            phase_mean, phase_std = values["phase"]
+            rows.append(
+                [region.value, component, amplitude_mean, amplitude_std, phase_mean, phase_std]
+            )
+    print(
+        format_table(
+            ["region", "component", "A mean", "A std", "P mean", "P std"], rows
+        )
+    )
+
+    # Amplitude statistics are tight within clusters: for the day component,
+    # the spread of cluster means exceeds the typical within-cluster std.
+    day_means = []
+    day_stds = []
+    for label, per_component in statistics.items():
+        mean, std = per_component["day"]["amplitude"]
+        day_means.append(mean)
+        day_stds.append(std)
+    assert (max(day_means) - min(day_means)) > np.mean(day_stds)
+
+    # The half-day amplitude mean of the transport cluster is the largest.
+    half_means = {
+        bench_result.region_of_cluster(label): per_component["half_day"]["amplitude"][0]
+        for label, per_component in statistics.items()
+    }
+    assert max(half_means, key=half_means.get) is RegionType.TRANSPORT
+
+    # Phase std of the day component is small for every pure cluster
+    # (coherent daily rhythm within a pattern).
+    for label, per_component in statistics.items():
+        region = bench_result.region_of_cluster(label)
+        if region is RegionType.COMPREHENSIVE:
+            continue
+        _, phase_std = per_component["day"]["phase"]
+        assert phase_std < 1.5

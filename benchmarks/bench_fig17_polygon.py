@@ -1,0 +1,52 @@
+"""Figure 17 — three-dimensional distribution of towers in the frequency
+feature space and the polygon of the four most representative towers.
+
+Shape targets: the four representative towers (one per pure pattern) span a
+non-degenerate polygon; the vast majority of towers lies inside or near that
+polygon; each representative decomposes to ~100% of its own component.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.decompose.polygon import hull_containment_fraction, hull_distance_profile
+from repro.viz.tables import format_table
+
+
+def build_fig17(result, config_feature):
+    features = result.frequency_features.feature_matrix(config_feature)
+    representatives = result.representatives
+    containment = hull_containment_fraction(features, representatives, relative_tolerance=0.1)
+    distances = hull_distance_profile(features, representatives)
+    return features, representatives, containment, distances
+
+
+def test_fig17_feature_space_polygon(benchmark, bench_model, bench_result):
+    features, representatives, containment, distances = benchmark(
+        build_fig17, bench_result, bench_model.config.decomposition_feature
+    )
+
+    print_section("Figure 17 — tower distribution and the primary-component polygon")
+    rows = []
+    for label, tower_id, feature in zip(
+        representatives.cluster_labels, representatives.tower_ids, representatives.features
+    ):
+        region = bench_result.region_of_cluster(int(label))
+        rows.append([f"#{label + 1} {region.value}", int(tower_id), *np.round(feature, 3).tolist()])
+    print(format_table(["vertex (cluster)", "tower", "A_day", "P_day", "A_half"], rows))
+    print(f"\nfraction of towers inside/near the polygon: {containment:.2%}")
+    print(f"median distance to the polygon: {np.median(distances):.4f}")
+
+    # The polygon is non-degenerate: pairwise vertex distances are positive.
+    vertices = representatives.features
+    pairwise = np.linalg.norm(vertices[:, None, :] - vertices[None, :, :], axis=2)
+    assert np.all(pairwise[~np.eye(4, dtype=bool)] > 1e-3)
+
+    # Most towers are inside or near the polygon (paper: towers lie in or
+    # along the edges/faces of the polygon).
+    assert containment > 0.7
+
+    # Each representative decomposes to essentially itself.
+    for label, tower_id in zip(representatives.cluster_labels, representatives.tower_ids):
+        decomposition = bench_model.decompose(int(tower_id))
+        assert decomposition.coefficient_of(int(label)) > 0.95

@@ -1,0 +1,60 @@
+"""Figure 18 — convex combination of a comprehensive tower in the frequency
+feature space.
+
+Shape targets: the projection of a comprehensive tower onto the polygon is an
+exact convex combination (residual ≈ 0 for interior points, small otherwise)
+and the reconstruction F^r = Σ x_i F⁰_i reproduces the tower's feature vector.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+
+def build_fig18(model, result, num_towers=8):
+    comp_cluster = result.cluster_of_region(RegionType.COMPREHENSIVE)
+    members = result.cluster_members(comp_cluster)[:num_towers]
+    decompositions = [model.decompose(int(result.tower_ids[row])) for row in members]
+    return decompositions
+
+
+def test_fig18_frequency_domain_combination(benchmark, bench_model, bench_result):
+    decompositions = benchmark(build_fig18, bench_model, bench_result)
+
+    print_section("Figure 18 — convex combination in the frequency feature space")
+    rows = []
+    for decomposition in decompositions:
+        relative_residual = decomposition.residual / max(np.linalg.norm(decomposition.feature), 1e-12)
+        rows.append(
+            [
+                decomposition.tower_id,
+                *np.round(decomposition.coefficients, 2).tolist(),
+                round(relative_residual, 4),
+            ]
+        )
+    print(format_table(["tower", "x1", "x2", "x3", "x4", "rel residual"], rows))
+
+    for decomposition in decompositions:
+        # Valid convex combination.
+        assert decomposition.coefficients.sum() == 1.0 or abs(
+            decomposition.coefficients.sum() - 1.0
+        ) < 1e-6
+        assert np.all(decomposition.coefficients >= -1e-9)
+        # The projection reproduces the feature up to a modest residual
+        # (points slightly outside the polygon are projected onto it).
+        relative_residual = decomposition.residual / max(
+            np.linalg.norm(decomposition.feature), 1e-12
+        )
+        assert relative_residual < 0.35
+
+    # At least half of the sampled comprehensive towers are essentially
+    # interior points (tiny residual).
+    interior = sum(
+        1
+        for d in decompositions
+        if d.residual / max(np.linalg.norm(d.feature), 1e-12) < 0.05
+    )
+    print(f"\ninterior towers: {interior}/{len(decompositions)}")
+    assert interior >= len(decompositions) // 2

@@ -1,0 +1,67 @@
+"""Figure 19 — convex combination of a comprehensive tower in the time domain.
+
+Shape targets: the traffic of a comprehensive tower is approximated by the
+coefficient-weighted combination of the four primary traffic patterns; the
+approximation error is small and the combination clearly beats the best
+single-component approximation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.synth.regions import RegionType
+from repro.vectorize.normalize import NormalizationMethod, normalize_vector
+from repro.viz.ascii import sparkline
+
+
+def build_fig19(model, result, num_towers=5):
+    comp_cluster = result.cluster_of_region(RegionType.COMPREHENSIVE)
+    members = result.cluster_members(comp_cluster)[:num_towers]
+    mixtures = [
+        model.decompose_in_time_domain(int(result.tower_ids[row])) for row in members
+    ]
+    return mixtures
+
+
+def test_fig19_time_domain_combination(benchmark, bench_model, bench_result):
+    mixtures = benchmark(build_fig19, bench_model, bench_result)
+
+    print_section("Figure 19 — convex combination in the time domain")
+    window = bench_result.window
+    week = slice(0, 7 * 144)
+    for mixture in mixtures[:2]:
+        print(f"\ntower {mixture.tower_id}  shares {mixture.component_share()}")
+        print(f"  target   {sparkline(mixture.target[week][::7])}")
+        print(f"  combined {sparkline(mixture.combined[week][::7])}")
+        for label, series in zip(mixture.component_labels, mixture.component_series):
+            region = bench_result.region_of_cluster(int(label))
+            print(f"  {region.value:<13} {sparkline(series[week][::7])}")
+
+    errors = [mixture.approximation_error() for mixture in mixtures]
+    print(f"\napproximation errors: {np.round(errors, 3).tolist()}")
+    assert np.median(errors) < 0.5
+
+    # The convex combination beats the best single primary component for most
+    # sampled towers.
+    better = 0
+    for mixture in mixtures:
+        single_errors = []
+        for label in mixture.component_labels:
+            rep_row = bench_result.vectorized.row_of(
+                int(
+                    bench_result.representatives.tower_ids[
+                        bench_result.representatives.cluster_labels == label
+                    ][0]
+                )
+            )
+            pattern = normalize_vector(
+                bench_result.vectorized.raw.traffic[rep_row], NormalizationMethod.MAX
+            )
+            single_errors.append(
+                float(np.linalg.norm(mixture.target - pattern))
+                / max(float(np.linalg.norm(mixture.target)), 1e-12)
+            )
+        if mixture.approximation_error() <= min(single_errors) + 1e-9:
+            better += 1
+    print(f"mixture at least as good as the best single component: {better}/{len(mixtures)}")
+    assert better >= len(mixtures) // 2

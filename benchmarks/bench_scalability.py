@@ -1,0 +1,52 @@
+"""Ablation A4 — scalability of the end-to-end pipeline with the number of towers.
+
+Times the full fit (vectorize → cluster → tune → label → spectral →
+representatives) for increasing city sizes and checks that the identified
+structure (five patterns) is stable across scales.
+"""
+
+import time
+
+from benchmarks.conftest import print_section
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.synth.scenario import ScenarioConfig, generate_scenario
+from repro.viz.tables import format_table
+
+SIZES = (100, 200, 400)
+
+
+def fit_at_scale(num_towers):
+    scenario = generate_scenario(
+        ScenarioConfig(num_towers=num_towers, num_users=500, num_days=28, seed=77)
+    )
+    start = time.perf_counter()
+    model = TrafficPatternModel(ModelConfig(max_clusters=8))
+    result = model.fit(scenario.traffic, city=scenario.city)
+    elapsed = time.perf_counter() - start
+    return result.num_clusters, elapsed
+
+
+def run_sweep():
+    return {size: fit_at_scale(size) for size in SIZES}
+
+
+def test_scalability_pipeline(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_section("Ablation A4 — pipeline runtime vs number of towers")
+    print(
+        format_table(
+            ["towers", "clusters found", "fit seconds"],
+            [[size, k, seconds] for size, (k, seconds) in results.items()],
+        )
+    )
+
+    # The five-pattern structure is stable across scales.
+    for size, (k, _) in results.items():
+        assert k == 5, f"expected 5 patterns at {size} towers, got {k}"
+
+    # Runtime grows sub-cubically over this range (sanity guard, generous).
+    small = results[SIZES[0]][1]
+    large = results[SIZES[-1]][1]
+    assert large < small * ((SIZES[-1] / SIZES[0]) ** 3.5)

@@ -1,0 +1,56 @@
+"""Table 1 — percentage of cell towers classified in each cluster.
+
+Shape targets (paper: resident 17.55%, transport 2.58%, office 45.72%,
+entertainment 9.35%, comprehensive 24.81%): office is the largest cluster,
+transport the smallest, comprehensive second largest.
+"""
+
+from benchmarks.conftest import print_section
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+PAPER_PERCENTAGES = {
+    RegionType.RESIDENT: 17.55,
+    RegionType.TRANSPORT: 2.58,
+    RegionType.OFFICE: 45.72,
+    RegionType.ENTERTAINMENT: 9.35,
+    RegionType.COMPREHENSIVE: 24.81,
+}
+
+
+def build_table1(result):
+    rows = []
+    for summary in result.summaries():
+        rows.append(
+            {
+                "cluster": summary.cluster_label + 1,
+                "region": summary.region,
+                "percentage": summary.percentage,
+            }
+        )
+    return rows
+
+
+def test_table1_cluster_percentages(benchmark, bench_result):
+    rows = benchmark(build_table1, bench_result)
+
+    print_section("Table 1 — percentage of cell towers in each cluster")
+    print(
+        format_table(
+            ["cluster", "functional region", "measured %", "paper %"],
+            [
+                [row["cluster"], row["region"].value, row["percentage"], PAPER_PERCENTAGES[row["region"]]]
+                for row in rows
+            ],
+        )
+    )
+
+    measured = {row["region"]: row["percentage"] for row in rows}
+    # Ordering of cluster sizes matches the paper.
+    assert max(measured, key=measured.get) is RegionType.OFFICE
+    assert min(measured, key=measured.get) is RegionType.TRANSPORT
+    ordered = sorted(measured, key=measured.get, reverse=True)
+    assert ordered[1] is RegionType.COMPREHENSIVE
+    # All five regions present and percentages sum to 100.
+    assert set(measured) == set(RegionType.ordered())
+    assert abs(sum(measured.values()) - 100.0) < 0.5

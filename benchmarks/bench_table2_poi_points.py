@@ -1,0 +1,66 @@
+"""Table 2 — POI distribution around the densest point of each cluster.
+
+Shape target: at the densest location of each pure cluster, the matching POI
+category dominates (residential POIs around point A, transport around B,
+office around C, entertainment around D); the comprehensive cluster's densest
+point has no dominant category.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.geo.grid import densest_point_of_cluster
+from repro.synth.poi import POICategory, poi_coordinate_arrays
+from repro.synth.regions import RegionType
+from repro.utils.geometry import haversine_km
+from repro.viz.tables import format_table
+
+POINT_NAMES = ["A", "B", "C", "D", "E"]
+EXPECTED_DOMINANT = {
+    RegionType.RESIDENT: POICategory.RESIDENT,
+    RegionType.TRANSPORT: POICategory.TRANSPORT,
+    RegionType.OFFICE: POICategory.OFFICE,
+    RegionType.ENTERTAINMENT: POICategory.ENTERTAINMENT,
+}
+
+
+def build_table2(scenario, result, radius_km=0.5):
+    lats, lons = scenario.city.tower_coordinates()
+    poi_lats, poi_lons, poi_cats = poi_coordinate_arrays(scenario.city.pois)
+    rows = []
+    for region in RegionType.ordered():
+        label = result.cluster_of_region(region)
+        point_lat, point_lon = densest_point_of_cluster(lats, lons, result.labels, label)
+        distances = haversine_km(point_lat, point_lon, poi_lats, poi_lons)
+        nearby = np.asarray(distances) <= radius_km
+        counts = np.bincount(poi_cats[nearby], minlength=4)
+        rows.append({"region": region, "counts": counts})
+    return rows
+
+
+def test_table2_poi_at_densest_points(benchmark, bench_scenario, bench_result):
+    rows = benchmark(build_table2, bench_scenario, bench_result)
+
+    print_section("Table 2 — POI distribution at each cluster's densest point")
+    print(
+        format_table(
+            ["point", "cluster region", "resident", "transport", "office", "entertain"],
+            [
+                [POINT_NAMES[i], row["region"].value, *row["counts"].tolist()]
+                for i, row in enumerate(rows)
+            ],
+        )
+    )
+
+    for row in rows:
+        region = row["region"]
+        counts = row["counts"]
+        if region is RegionType.COMPREHENSIVE:
+            continue
+        if counts.sum() == 0:
+            continue
+        expected = EXPECTED_DOMINANT[region]
+        share = counts[expected.index] / counts.sum()
+        print(f"{region.value}: dominant share of matching POI category = {share:.2f}")
+        # The matching category is the largest one at the densest point.
+        assert int(np.argmax(counts)) == expected.index

@@ -1,0 +1,67 @@
+"""Table 3 / Figure 9 — averaged min-max-normalised POI of the five clusters.
+
+Shape targets (paper): the transport cluster is dominated by transport POIs
+(≈44% of its normalised POI mass), the entertainment cluster by entertainment
+POIs (≈39%); each pure cluster's dominant POI category matches its label; the
+comprehensive cluster has no sharply dominant category.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.geo.poi_profile import normalized_poi_by_cluster, poi_share_by_cluster
+from repro.synth.poi import POICategory
+from repro.synth.regions import RegionType
+from repro.viz.tables import render_matrix
+
+EXPECTED_DOMINANT = {
+    RegionType.RESIDENT: POICategory.RESIDENT,
+    RegionType.TRANSPORT: POICategory.TRANSPORT,
+    RegionType.OFFICE: POICategory.OFFICE,
+    RegionType.ENTERTAINMENT: POICategory.ENTERTAINMENT,
+}
+
+
+def build_table3(result):
+    table = normalized_poi_by_cluster(result.poi_profile, result.labels)
+    shares = poi_share_by_cluster(result.poi_profile, result.labels)
+    return table, shares
+
+
+def test_table3_fig09_normalized_poi(benchmark, bench_result):
+    table, shares = benchmark(build_table3, bench_result)
+
+    regions = [bench_result.region_of_cluster(label) for label in range(bench_result.num_clusters)]
+    row_labels = [f"#{label + 1} {region.value}" for label, region in enumerate(regions)]
+    column_labels = [category.value for category in POICategory.ordered()]
+
+    print_section("Table 3 — averaged normalised POI of the five clusters")
+    print(render_matrix(table, row_labels=row_labels, column_labels=column_labels))
+    print("\nFigure 9 — per-cluster POI shares (rows sum to 1)")
+    print(render_matrix(shares, row_labels=row_labels, column_labels=column_labels))
+
+    for label, region in enumerate(regions):
+        if region is RegionType.COMPREHENSIVE:
+            continue
+        expected = EXPECTED_DOMINANT[region]
+        dominant = int(np.argmax(shares[label]))
+        assert dominant == expected.index, f"{region} dominated by column {dominant}"
+
+    # Transport and entertainment clusters are strongly dominated, as in the paper.
+    transport_label = regions.index(RegionType.TRANSPORT)
+    entertainment_label = regions.index(RegionType.ENTERTAINMENT)
+    print(f"\ntransport share of transport POI: {shares[transport_label, 1]:.2f}")
+    print(f"entertainment share of entertainment POI: {shares[entertainment_label, 3]:.2f}")
+    assert shares[transport_label, POICategory.TRANSPORT.index] > 0.3
+    assert shares[entertainment_label, POICategory.ENTERTAINMENT.index] > 0.3
+
+    # The comprehensive cluster has no overwhelming POI category: its largest
+    # share stays below the strongest dominance observed among pure clusters.
+    comprehensive_label = regions.index(RegionType.COMPREHENSIVE)
+    pure_max_share = max(
+        shares[label].max() for label, region in enumerate(regions)
+        if region is not RegionType.COMPREHENSIVE
+    )
+    print(f"comprehensive max share: {shares[comprehensive_label].max():.2f} "
+          f"(strongest pure-cluster dominance: {pure_max_share:.2f})")
+    assert shares[comprehensive_label].max() < pure_max_share

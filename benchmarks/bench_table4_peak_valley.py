@@ -1,0 +1,63 @@
+"""Table 4 — peak-valley features (max, min, ratio) per pattern and day kind.
+
+Shape targets (paper): resident and comprehensive carry the largest absolute
+peaks; transport has the smallest maximum traffic yet the largest peak-valley
+ratio (>100 on weekdays); office/transport weekend maxima are clearly below
+their weekday maxima.
+"""
+
+from benchmarks.conftest import print_section
+from repro.analysis.timedomain import peak_valley_features
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+
+def build_table4(result, cluster_series):
+    window = result.window
+    rows = {}
+    for label, series in cluster_series.items():
+        region = result.region_of_cluster(label)
+        rows[region] = peak_valley_features(series, window)
+    return rows
+
+
+def test_table4_peak_valley_features(benchmark, bench_result, cluster_series):
+    rows = benchmark(build_table4, bench_result, cluster_series)
+
+    print_section("Table 4 — peak-valley features per pattern")
+    print(
+        format_table(
+            ["region", "wk max", "wk min", "wk ratio", "we max", "we min", "we ratio"],
+            [
+                [
+                    region.value,
+                    features.weekday_max,
+                    features.weekday_min,
+                    features.weekday_ratio,
+                    features.weekend_max,
+                    features.weekend_min,
+                    features.weekend_ratio,
+                ]
+                for region, features in rows.items()
+            ],
+        )
+    )
+
+    # Transport: largest ratio, smallest maximum.
+    ratios = {region: features.weekday_ratio for region, features in rows.items()}
+    maxima = {region: features.weekday_max for region, features in rows.items()}
+    assert max(ratios, key=ratios.get) is RegionType.TRANSPORT
+    assert ratios[RegionType.TRANSPORT] > 20
+    assert min(maxima, key=maxima.get) is RegionType.TRANSPORT
+
+    # Resident and comprehensive have modest ratios (paper: ~9-10).
+    assert ratios[RegionType.RESIDENT] < ratios[RegionType.OFFICE]
+    assert ratios[RegionType.COMPREHENSIVE] < ratios[RegionType.OFFICE]
+
+    # Office and transport weekend maxima noticeably below weekday maxima.
+    assert rows[RegionType.OFFICE].weekend_max < 0.85 * rows[RegionType.OFFICE].weekday_max
+    assert rows[RegionType.TRANSPORT].weekend_max < 0.85 * rows[RegionType.TRANSPORT].weekday_max
+
+    # Resident/comprehensive weekend maxima close to weekday maxima.
+    assert rows[RegionType.RESIDENT].weekend_max > 0.8 * rows[RegionType.RESIDENT].weekday_max
+    assert rows[RegionType.COMPREHENSIVE].weekend_max > 0.8 * rows[RegionType.COMPREHENSIVE].weekday_max

@@ -1,0 +1,69 @@
+"""Table 5 — time of traffic peak and valley per pattern and day kind.
+
+Shape targets (paper): every cluster's valley falls between roughly 04:00 and
+05:00; transport has two weekday peaks (08:00 and 18:00); the residential
+peak is in the evening (~21:30); the office peak is late morning/midday; the
+entertainment peak moves from ~18:00 on weekdays to ~12:30 at weekends.
+"""
+
+from benchmarks.conftest import print_section
+from repro.analysis.peaks import find_daily_peak_valley_times
+from repro.synth.regions import RegionType
+from repro.viz.tables import format_table
+
+
+def build_table5(result, cluster_series):
+    window = result.window
+    rows = {}
+    for label, series in cluster_series.items():
+        region = result.region_of_cluster(label)
+        rows[region] = {
+            "weekday": find_daily_peak_valley_times(series, window, weekend=False),
+            "weekend": find_daily_peak_valley_times(series, window, weekend=True),
+        }
+    return rows
+
+
+def test_table5_peak_and_valley_times(benchmark, bench_result, cluster_series):
+    rows = benchmark(build_table5, bench_result, cluster_series)
+
+    print_section("Table 5 — time of traffic peak and valley per pattern")
+    print(
+        format_table(
+            ["region", "weekday peaks", "weekday valley", "weekend peaks", "weekend valley"],
+            [
+                [
+                    region.value,
+                    " / ".join(timing["weekday"].peak_times),
+                    timing["weekday"].valley_time,
+                    " / ".join(timing["weekend"].peak_times),
+                    timing["weekend"].valley_time,
+                ]
+                for region, timing in rows.items()
+            ],
+        )
+    )
+
+    # Valleys in the early morning for every pattern and day kind.
+    for timing in rows.values():
+        assert 2.0 <= timing["weekday"].valley_hour <= 6.5
+        assert 2.0 <= timing["weekend"].valley_hour <= 6.5
+
+    # Transport: two weekday peaks around the rush hours.
+    transport = rows[RegionType.TRANSPORT]["weekday"]
+    assert len(transport.peak_slots) == 2
+    assert any(6.5 <= hour <= 9.5 for hour in transport.peak_hours)
+    assert any(16.5 <= hour <= 19.5 for hour in transport.peak_hours)
+
+    # Resident: evening peak.
+    resident = rows[RegionType.RESIDENT]["weekday"]
+    assert any(19.5 <= hour <= 23.0 for hour in resident.peak_hours)
+
+    # Office: late-morning/midday peak.
+    office = rows[RegionType.OFFICE]["weekday"]
+    assert any(9.0 <= hour <= 14.0 for hour in office.peak_hours)
+
+    # Entertainment: weekend peak earlier than weekday peak.
+    entertainment_weekday = min(rows[RegionType.ENTERTAINMENT]["weekday"].peak_hours)
+    entertainment_weekend = min(rows[RegionType.ENTERTAINMENT]["weekend"].peak_hours)
+    assert entertainment_weekend < entertainment_weekday

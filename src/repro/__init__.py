@@ -1,0 +1,38 @@
+"""repro — reproduction of *Understanding Mobile Traffic Patterns of Large
+Scale Cellular Towers in Urban Environment* (Wang et al., ACM IMC 2015).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.synth` — synthetic urban traffic substrate standing in for the
+  proprietary Shanghai operator trace (city model, POI layer, towers, users,
+  session logs, corruption, geocoder);
+* :mod:`repro.ingest` — trace cleaning, geocoding and density computation;
+* :mod:`repro.vectorize` — the traffic vectorizer;
+* :mod:`repro.cluster` — the pattern identifier (hierarchical clustering) and
+  metric tuner (Davies–Bouldin);
+* :mod:`repro.spectral` — frequency-domain analysis (DFT, principal
+  components, amplitude/phase features);
+* :mod:`repro.decompose` — representative towers and convex decomposition
+  onto the four primary components;
+* :mod:`repro.geo` — POI profiles, TF-IDF/NTF-IDF, labelling and validation;
+* :mod:`repro.analysis` — time-domain characterisation of the patterns;
+* :mod:`repro.viz` — ASCII/CSV reporting helpers;
+* :mod:`repro.core` — the end-to-end :class:`~repro.core.model.TrafficPatternModel`.
+"""
+
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.core.results import ModelResult
+from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "ModelResult",
+    "Scenario",
+    "ScenarioConfig",
+    "TrafficPatternModel",
+    "generate_scenario",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Time-domain characterisation of the identified traffic patterns
+(Section 4 of the paper): temporal aggregation at several scales,
+weekday/weekend amount ratios, peak-valley features, peak/valley timing, and
+interrelationships between the pattern profiles.
+"""
+
+from repro.analysis.interrelations import (
+    average_daily_profile,
+    pattern_similarity,
+    peak_lag_hours,
+)
+from repro.analysis.peaks import PeakValleyTiming, find_daily_peak_valley_times
+from repro.analysis.temporal import daily_series, hourly_series, weekly_series
+from repro.analysis.timedomain import (
+    PeakValleyFeatures,
+    peak_valley_features,
+    weekday_weekend_ratio,
+)
+
+__all__ = [
+    "PeakValleyFeatures",
+    "PeakValleyTiming",
+    "average_daily_profile",
+    "daily_series",
+    "find_daily_peak_valley_times",
+    "hourly_series",
+    "pattern_similarity",
+    "peak_lag_hours",
+    "peak_valley_features",
+    "weekday_weekend_ratio",
+    "weekly_series",
+]

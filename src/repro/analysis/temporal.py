@@ -1,0 +1,77 @@
+"""Temporal aggregation of traffic at several scales (Fig. 1 of the paper).
+
+Given a per-slot traffic series (10-minute resolution) these helpers return
+the hourly view of a single day, the per-slot view of a single week and the
+per-day view of the whole window — the three panels of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK, TimeWindow
+
+
+def _check_series(series: np.ndarray, window: TimeWindow) -> np.ndarray:
+    arr = np.asarray(series, dtype=float).ravel()
+    if arr.size != window.num_slots:
+        raise ValueError(
+            f"series has {arr.size} slots but the window defines {window.num_slots}"
+        )
+    return arr
+
+
+def hourly_series(series: np.ndarray, window: TimeWindow, day: int) -> np.ndarray:
+    """Return the 144-slot traffic of one day (Fig. 1(a) uses a Thursday)."""
+    arr = _check_series(series, window)
+    if not 0 <= day < window.num_days:
+        raise ValueError(f"day {day} outside the window of {window.num_days} days")
+    return arr[window.slots_of_day(day)].copy()
+
+
+def daily_series(series: np.ndarray, window: TimeWindow, start_day: int = 0, num_days: int = 7) -> np.ndarray:
+    """Return the per-slot traffic of ``num_days`` consecutive days (Fig. 1(b))."""
+    arr = _check_series(series, window)
+    if num_days <= 0:
+        raise ValueError(f"num_days must be positive, got {num_days}")
+    if not 0 <= start_day or start_day + num_days > window.num_days:
+        raise ValueError(
+            f"days [{start_day}, {start_day + num_days}) outside the window of "
+            f"{window.num_days} days"
+        )
+    start = start_day * SLOTS_PER_DAY
+    return arr[start : start + num_days * SLOTS_PER_DAY].copy()
+
+
+def weekly_series(series: np.ndarray, window: TimeWindow) -> np.ndarray:
+    """Return the traffic per day over the whole window (Fig. 1(c))."""
+    arr = _check_series(series, window)
+    return arr.reshape(window.num_days, SLOTS_PER_DAY).sum(axis=1)
+
+
+def weekly_profile(series: np.ndarray, window: TimeWindow) -> np.ndarray:
+    """Return the average weekly profile (1,008 slots, Monday-first).
+
+    Weeks are averaged slot-by-slot; partial weeks at the end of the window
+    are included with the weight of the days they contribute.
+    """
+    arr = _check_series(series, window)
+    profile = np.zeros(SLOTS_PER_WEEK)
+    counts = np.zeros(SLOTS_PER_WEEK)
+    for day in range(window.num_days):
+        weekday = window.weekday_of_day(day)
+        start = weekday * SLOTS_PER_DAY
+        profile[start : start + SLOTS_PER_DAY] += arr[window.slots_of_day(day)]
+        counts[start : start + SLOTS_PER_DAY] += 1
+    safe = np.where(counts > 0, counts, 1.0)
+    return profile / safe
+
+
+def peak_hours_of_day(series: np.ndarray, window: TimeWindow, day: int, *, top: int = 2) -> np.ndarray:
+    """Return the hours (0-23) of the ``top`` traffic peaks of one day."""
+    if top <= 0:
+        raise ValueError(f"top must be positive, got {top}")
+    day_series = hourly_series(series, window, day)
+    hourly = day_series.reshape(24, SLOTS_PER_DAY // 24).sum(axis=1)
+    order = np.argsort(hourly)[::-1][:top]
+    return np.sort(order)

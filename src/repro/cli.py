@@ -1,0 +1,234 @@
+"""Command-line interface of the reproduction.
+
+Three subcommands cover the everyday workflow without writing Python:
+
+``repro-traffic generate``
+    Generate a synthetic scenario and write the raw trace (records CSV) plus
+    the station directory (stations CSV) to an output directory.
+
+``repro-traffic fit``
+    Fit the traffic-pattern model either on a previously generated trace
+    (``--trace``/``--stations``) or on a fresh synthetic scenario, print the
+    Table-1 style summary and optionally export per-tower cluster/region
+    assignments as CSV.
+
+``repro-traffic decompose``
+    Fit on a fresh synthetic scenario and print the convex decomposition of
+    one or more towers onto the four primary components.
+
+Run ``repro-traffic <subcommand> --help`` for the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.ingest.loader import (
+    read_records_csv,
+    read_stations_csv,
+    write_records_csv,
+    write_stations_csv,
+)
+from repro.ingest.preprocess import preprocess_trace
+from repro.ingest.records import BaseStationInfo
+from repro.synth.geocoder import SyntheticGeocoder
+from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
+from repro.utils.timeutils import TimeWindow
+from repro.vectorize.vectorizer import TrafficVectorizer
+from repro.viz.export import export_rows_csv
+from repro.viz.tables import format_table
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--towers", type=int, default=200, help="number of towers")
+    parser.add_argument("--users", type=int, default=1000, help="number of subscribers")
+    parser.add_argument("--days", type=int, default=28, help="number of days")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+
+
+def _build_scenario(args: argparse.Namespace, *, sessions: bool) -> Scenario:
+    return generate_scenario(
+        ScenarioConfig(
+            num_towers=args.towers,
+            num_users=args.users,
+            num_days=args.days,
+            seed=args.seed,
+            generate_sessions=sessions,
+        )
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    scenario = _build_scenario(args, sessions=True)
+    trace_path = output / "trace.csv"
+    stations_path = output / "stations.csv"
+    num_records = write_records_csv(scenario.records, trace_path)
+    stations = [BaseStationInfo(t.tower_id, t.address) for t in scenario.city.towers]
+    write_stations_csv(stations, stations_path)
+    print(f"wrote {num_records:,} records to {trace_path}")
+    print(f"wrote {len(stations)} stations to {stations_path}")
+    report = scenario.corruption_report
+    if report is not None:
+        print(
+            f"corruption injected: {report.num_duplicates_added:,} duplicates, "
+            f"{report.num_conflicts_added:,} conflicting copies"
+        )
+    return 0
+
+
+def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario | None]:
+    config = ModelConfig(
+        max_clusters=args.max_clusters,
+        num_clusters=args.clusters,
+    )
+    model = TrafficPatternModel(config)
+
+    if args.trace:
+        if not args.stations:
+            raise SystemExit("--stations is required when --trace is given")
+        records = list(read_records_csv(args.trace))
+        stations = read_stations_csv(args.stations)
+        window = TimeWindow(num_days=args.days)
+        preprocessed = preprocess_trace(records, stations, None, compute_density=False)
+        vectorized = TrafficVectorizer().from_records(
+            preprocessed.records,
+            window,
+            tower_ids=[station.tower_id for station in stations],
+        )
+        model.fit(vectorized.raw)
+        return model, None
+
+    scenario = _build_scenario(args, sessions=False)
+    model.fit(scenario.traffic, city=scenario.city)
+    return model, scenario
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    model, _ = _fit_model(args)
+    result = model.result
+
+    print(f"identified {result.num_clusters} traffic patterns")
+    rows = []
+    for summary in result.summaries():
+        region = summary.region.value if summary.region else "unlabelled"
+        rows.append([summary.cluster_label + 1, region, summary.num_towers,
+                     round(summary.percentage, 2)])
+    print(format_table(["cluster", "region", "towers", "%"], rows))
+
+    if result.tuning_curve is not None:
+        best_k, best_score, threshold = result.tuning_curve.best()
+        print(
+            f"\nmetric tuner: Davies-Bouldin minimised at k={best_k} "
+            f"(score {best_score:.3f}, distance threshold {threshold:.2f})"
+        )
+
+    if args.assignments:
+        assignment_rows = []
+        for row in range(result.vectorized.num_towers):
+            cluster = int(result.labels[row])
+            region = result.region_of_cluster(cluster)
+            assignment_rows.append(
+                {
+                    "tower_id": int(result.tower_ids[row]),
+                    "cluster": cluster + 1,
+                    "region": region.value if region else "unlabelled",
+                }
+            )
+        export_rows_csv(assignment_rows, args.assignments)
+        print(f"\nwrote per-tower assignments to {args.assignments}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    model, scenario = _fit_model(args)
+    result = model.result
+    if result.representatives is None:
+        raise SystemExit("not enough clusters to build primary components")
+
+    tower_ids = args.tower_ids
+    if not tower_ids:
+        # Default: the first few towers of the comprehensive cluster (or of
+        # cluster 0 when no labelling is available).
+        from repro.synth.regions import RegionType
+
+        try:
+            cluster = result.cluster_of_region(RegionType.COMPREHENSIVE)
+        except KeyError:
+            cluster = 0
+        members = result.cluster_members(cluster)[: args.count]
+        tower_ids = [int(result.tower_ids[row]) for row in members]
+
+    rows = []
+    for tower_id in tower_ids:
+        decomposition = model.decompose(int(tower_id))
+        coefficients = decomposition.as_dict()
+        row = [tower_id]
+        for label in sorted(coefficients):
+            row.append(round(coefficients[label], 3))
+        row.append(round(decomposition.residual, 5))
+        rows.append(row)
+    component_names = [
+        (result.region_of_cluster(int(label)).value if result.labeling else f"component {label}")
+        for label in sorted(result.representatives.cluster_labels.tolist())
+    ]
+    print(format_table(["tower", *component_names, "residual"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Reproduction of 'Understanding Mobile Traffic Patterns of "
+        "Large Scale Cellular Towers in Urban Environment' (IMC 2015)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic operator trace")
+    _add_scenario_arguments(generate)
+    generate.add_argument("--output", required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    fit = subparsers.add_parser("fit", help="fit the traffic-pattern model")
+    _add_scenario_arguments(fit)
+    fit.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
+    fit.add_argument("--stations", help="stations CSV produced by 'generate'")
+    fit.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
+    fit.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
+    fit.add_argument("--assignments", help="write per-tower assignments to this CSV")
+    fit.set_defaults(handler=_cmd_fit)
+
+    decompose = subparsers.add_parser(
+        "decompose", help="convex decomposition of towers onto the primary components"
+    )
+    _add_scenario_arguments(decompose)
+    decompose.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
+    decompose.add_argument("--stations", help="stations CSV produced by 'generate'")
+    decompose.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
+    decompose.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
+    decompose.add_argument(
+        "--tower-ids", type=int, nargs="*", default=None, help="tower ids to decompose"
+    )
+    decompose.add_argument(
+        "--count", type=int, default=5, help="how many comprehensive towers to decompose by default"
+    )
+    decompose.set_defaults(handler=_cmd_decompose)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Linkage strategies and their Lance–Williams update coefficients.
+
+Agglomerative clustering repeatedly merges the two nearest clusters; after a
+merge, the distance from the new cluster to every other cluster is obtained
+with the Lance–Williams recurrence
+
+    d(i∪j, k) = α_i d(i,k) + α_j d(j,k) + β d(i,j) + γ |d(i,k) - d(j,k)|
+
+whose coefficients depend on the linkage criterion.  The paper uses
+average linkage; single, complete and Ward linkage are provided for the
+ablation study (benchmark A1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Linkage(enum.Enum):
+    """Supported linkage criteria."""
+
+    SINGLE = "single"
+    COMPLETE = "complete"
+    AVERAGE = "average"
+    WARD = "ward"
+
+
+def lance_williams_coefficients(
+    linkage: Linkage,
+    size_i: int,
+    size_j: int,
+    size_k: int,
+) -> tuple[float, float, float, float]:
+    """Return ``(alpha_i, alpha_j, beta, gamma)`` for a merge of ``i`` and ``j``.
+
+    ``size_i``/``size_j`` are the sizes of the merging clusters and ``size_k``
+    the size of the third cluster whose distance is being updated.
+
+    Note: for Ward linkage the recurrence applies to *squared* Euclidean
+    distances; callers must square before updating and take the square root
+    afterwards (handled inside the clustering implementation).
+    """
+    if min(size_i, size_j, size_k) <= 0:
+        raise ValueError("cluster sizes must be positive")
+
+    if linkage is Linkage.SINGLE:
+        return 0.5, 0.5, 0.0, -0.5
+    if linkage is Linkage.COMPLETE:
+        return 0.5, 0.5, 0.0, 0.5
+    if linkage is Linkage.AVERAGE:
+        total = size_i + size_j
+        return size_i / total, size_j / total, 0.0, 0.0
+    if linkage is Linkage.WARD:
+        total = size_i + size_j + size_k
+        return (
+            (size_i + size_k) / total,
+            (size_j + size_k) / total,
+            -size_k / total,
+            0.0,
+        )
+    raise ValueError(f"unsupported linkage: {linkage!r}")

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: a three-dimensional traffic-pattern model.
+
+:class:`~repro.core.model.TrafficPatternModel` combines
+
+* **time** — normalised 10-minute traffic vectors, hierarchically clustered
+  into a small number of patterns selected by the Davies–Bouldin index;
+* **location** — urban-functional-region labels derived from POI profiles;
+* **frequency** — amplitude/phase features at the principal spectral
+  components and the convex decomposition of any tower onto the four primary
+  components;
+
+into one fitted object, matching Sections 3–5 of the paper.  The
+configuration dataclasses live in :mod:`repro.core.config`, the result
+containers in :mod:`repro.core.results`.
+"""
+
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.core.results import ClusterSummary, ModelResult
+
+__all__ = [
+    "ClusterSummary",
+    "ModelConfig",
+    "ModelResult",
+    "TrafficPatternModel",
+]

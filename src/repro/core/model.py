@@ -1,0 +1,235 @@
+"""The end-to-end traffic-pattern model.
+
+:class:`TrafficPatternModel` chains the paper's full pipeline:
+
+1. **Vectorize** — aggregate traffic to 10-minute slots per tower and
+   normalise each tower's vector (Section 3.2, traffic vectorizer).
+2. **Cluster** — average-linkage hierarchical clustering of the vectors
+   (Section 3.2, pattern identifier).
+3. **Tune** — pick the number of patterns minimising the Davies–Bouldin
+   index (Section 3.2, metric tuner), unless a fixed number is configured.
+4. **Label** — assign urban functional regions to the clusters from POI
+   profiles (Section 3.3), when a city/POI layer is supplied.
+5. **Spectral** — extract amplitude/phase features at the principal
+   frequency components (Section 5.1–5.2).
+6. **Decompose** — select the most representative tower of each pure cluster
+   and expose convex decompositions of arbitrary towers (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hierarchical import AgglomerativeClustering, ClusteringResult
+from repro.cluster.tuner import MetricTuner, TuningCurve
+from repro.core.config import ModelConfig
+from repro.core.results import ModelResult
+from repro.decompose.convex import ConvexDecomposition, decompose_features
+from repro.decompose.mixture import TimeDomainMixture, mixture_time_series
+from repro.decompose.representative import RepresentativeTowers, select_representative_towers
+from repro.geo.labeling import ClusterLabeling, label_clusters
+from repro.geo.poi_profile import POIProfile, compute_poi_profiles
+from repro.spectral.components import principal_components_for_window
+from repro.spectral.features import extract_frequency_features
+from repro.synth.city import CityModel
+from repro.synth.regions import RegionType
+from repro.synth.traffic import TowerTrafficMatrix
+from repro.vectorize.vectorizer import TrafficVectorizer
+
+
+class TrafficPatternModel:
+    """Fit the paper's three-dimensional traffic-pattern model.
+
+    Parameters
+    ----------
+    config:
+        Model configuration; defaults reproduce the paper's choices
+        (z-score vectors, average linkage, Davies–Bouldin tuning, 200 m POI
+        radius, ``(A_day, P_day, A_halfday)`` decomposition features).
+
+    Example
+    -------
+    >>> from repro.synth import generate_scenario, ScenarioConfig
+    >>> from repro.core import TrafficPatternModel
+    >>> scenario = generate_scenario(ScenarioConfig(num_towers=120, seed=1))
+    >>> model = TrafficPatternModel()
+    >>> result = model.fit(scenario.traffic, city=scenario.city)
+    >>> result.num_clusters
+    5
+    """
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        self.config = config or ModelConfig()
+        self._result: ModelResult | None = None
+
+    @property
+    def result(self) -> ModelResult:
+        """Return the last fit result.
+
+        Raises
+        ------
+        RuntimeError
+            If the model has not been fitted yet.
+        """
+        if self._result is None:
+            raise RuntimeError("the model has not been fitted yet; call fit() first")
+        return self._result
+
+    def fit(
+        self,
+        traffic: TowerTrafficMatrix,
+        *,
+        city: CityModel | None = None,
+    ) -> ModelResult:
+        """Fit the model on a per-tower traffic matrix.
+
+        Parameters
+        ----------
+        traffic:
+            Per-tower 10-minute traffic matrix (from the synthetic generator
+            or from aggregating a real trace).
+        city:
+            Optional city model providing tower coordinates and the POI
+            layer; required for the geographic labelling step (skipped when
+            absent).
+        """
+        cfg = self.config
+        window = traffic.window
+
+        # 1. Vectorize.
+        vectorizer = TrafficVectorizer(method=cfg.normalization)
+        vectorized = vectorizer.from_matrix(traffic)
+
+        # 2-3. Cluster and tune.
+        clusterer = AgglomerativeClustering(linkage=cfg.linkage)
+        dendrogram = clusterer.fit(vectorized.vectors)
+        tuning_curve: TuningCurve | None = None
+        if cfg.num_clusters is not None:
+            labels = dendrogram.labels_at_num_clusters(cfg.num_clusters)
+            threshold = None
+        else:
+            tuner = MetricTuner(
+                index=cfg.validity_index,
+                min_clusters=cfg.min_clusters,
+                max_clusters=cfg.max_clusters,
+            )
+            labels, tuning_curve = tuner.select(vectorized.vectors, dendrogram)
+            _, _, threshold = tuning_curve.best()
+        clustering = ClusteringResult(
+            labels=labels,
+            dendrogram=dendrogram,
+            linkage=cfg.linkage,
+            threshold=threshold,
+        )
+
+        # 4. Label with urban functional regions (needs the POI layer).
+        labeling: ClusterLabeling | None = None
+        poi_profile: POIProfile | None = None
+        if city is not None:
+            coordinates = np.array(
+                [(city.tower(tid).lat, city.tower(tid).lon) for tid in vectorized.tower_ids]
+            )
+            poi_profile = compute_poi_profiles(
+                vectorized.tower_ids,
+                coordinates[:, 0],
+                coordinates[:, 1],
+                city.pois,
+                radius_km=cfg.poi_radius_km,
+            )
+            labeling = label_clusters(poi_profile, clustering.labels)
+
+        # 5. Spectral features.
+        components = principal_components_for_window(window)
+        frequency_features = extract_frequency_features(
+            traffic.traffic,
+            traffic.tower_ids,
+            components,
+            normalization=cfg.feature_normalization,
+        )
+
+        # 6. Representative towers of the pure clusters.
+        representatives: RepresentativeTowers | None = None
+        feature_matrix = frequency_features.feature_matrix(cfg.decomposition_feature)
+        pure_clusters = self._pure_cluster_labels(clustering, labeling)
+        if pure_clusters.size >= 2:
+            representatives = select_representative_towers(
+                feature_matrix,
+                clustering.labels,
+                vectorized.tower_ids,
+                clusters=pure_clusters,
+            )
+
+        self._result = ModelResult(
+            window=window,
+            vectorized=vectorized,
+            clustering=clustering,
+            tuning_curve=tuning_curve,
+            labeling=labeling,
+            poi_profile=poi_profile,
+            components=components,
+            frequency_features=frequency_features,
+            representatives=representatives,
+            extras={"decomposition_feature": cfg.decomposition_feature},
+        )
+        return self._result
+
+    @staticmethod
+    def _pure_cluster_labels(
+        clustering: ClusteringResult, labeling: ClusterLabeling | None
+    ) -> np.ndarray:
+        """Return the cluster labels used as primary components.
+
+        With a labelling available these are the four non-comprehensive
+        clusters; without one, every cluster is used.
+        """
+        all_labels = np.unique(clustering.labels)
+        if labeling is None:
+            return all_labels
+        pure = [
+            int(label)
+            for label in all_labels
+            if labeling.region_of(int(label)) is not RegionType.COMPREHENSIVE
+        ]
+        return np.array(pure, dtype=int)
+
+    # ------------------------------------------------------------------
+    # Post-fit analysis helpers
+    # ------------------------------------------------------------------
+
+    def decompose(self, tower_id: int) -> ConvexDecomposition:
+        """Return the convex decomposition of one tower onto the primary components."""
+        result = self.result
+        if result.representatives is None:
+            raise RuntimeError(
+                "no representative towers available; fit with enough clusters first"
+            )
+        feature_matrix = result.frequency_features.feature_matrix(
+            self.config.decomposition_feature
+        )
+        row = result.frequency_features.row_of(tower_id)
+        return decompose_features(
+            feature_matrix[row], result.representatives, tower_id=tower_id
+        )
+
+    def decompose_in_time_domain(self, tower_id: int) -> TimeDomainMixture:
+        """Return the Fig. 19-style time-domain mixture of one tower."""
+        result = self.result
+        decomposition = self.decompose(tower_id)
+        patterns = {
+            int(label): result.vectorized.raw.traffic[
+                result.vectorized.row_of(int(rep_tower_id))
+            ]
+            for label, rep_tower_id in zip(
+                result.representatives.cluster_labels, result.representatives.tower_ids
+            )
+        }
+        target = result.vectorized.raw.traffic[result.vectorized.row_of(tower_id)]
+        return mixture_time_series(decomposition, patterns, target)
+
+    def predict_region(self, tower_id: int) -> RegionType:
+        """Return the urban functional region inferred for one tower."""
+        result = self.result
+        if result.labeling is None:
+            raise RuntimeError("the model was fitted without geographic labelling")
+        row = result.vectorized.row_of(tower_id)
+        return result.labeling.region_of(int(result.labels[row]))

@@ -1,0 +1,31 @@
+"""Geographic context of traffic patterns (Section 3.3 and 5.3 of the paper).
+
+Computes per-tower POI profiles (counts of the four POI categories within a
+radius), the per-cluster averaged min-max-normalised POI table (Table 3 /
+Fig. 9), TF-IDF and NTF-IDF statistics (Table 6), automatic cluster →
+functional-region labelling, label validation in micro (case study) and
+macro (all towers) scale, and spatial density grids per cluster (Fig. 7).
+"""
+
+from repro.geo.grid import cluster_density_maps, towers_in_cell, densest_point_of_cluster
+from repro.geo.labeling import ClusterLabeling, label_clusters, label_accuracy
+from repro.geo.poi_profile import POIProfile, compute_poi_profiles, normalized_poi_by_cluster
+from repro.geo.tfidf import compute_ntf_idf, compute_tf_idf
+from repro.geo.validation import CaseStudyResult, macro_validation_table, validate_case_study
+
+__all__ = [
+    "CaseStudyResult",
+    "ClusterLabeling",
+    "POIProfile",
+    "cluster_density_maps",
+    "compute_ntf_idf",
+    "compute_poi_profiles",
+    "compute_tf_idf",
+    "densest_point_of_cluster",
+    "label_accuracy",
+    "label_clusters",
+    "macro_validation_table",
+    "normalized_poi_by_cluster",
+    "towers_in_cell",
+    "validate_case_study",
+]

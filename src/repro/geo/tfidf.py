@@ -1,0 +1,62 @@
+"""TF-IDF and NTF-IDF statistics over POI counts (Section 5.3, Table 6).
+
+The paper borrows the term frequency–inverse document frequency statistic to
+quantify how characteristic a POI type is of the area around a tower::
+
+    IDF_i      = log(M / M_i)
+    TF-IDF_i^m = IDF_i · log(1 + POI_i^m)
+    NTF-IDF_i^m = TF-IDF_i^m / Σ_j TF-IDF_j^m
+
+where ``M`` is the total number of towers, ``M_i`` the number of towers with
+at least one POI of type ``i`` within the counting radius and ``POI_i^m`` the
+count of type ``i`` around tower ``m``.  The NTF-IDF rows are compared with
+the convex-combination coefficients in Table 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.poi_profile import POIProfile
+
+
+def compute_tf_idf(profile: POIProfile) -> np.ndarray:
+    """Return the TF-IDF matrix of shape ``(num_towers, 4)``.
+
+    Towers that have no POI of a given type nearby get a TF-IDF of zero for
+    that type.  POI types present around *every* tower get ``IDF = 0`` (the
+    type carries no discriminating information), exactly as in the standard
+    formulation.
+    """
+    counts = profile.counts
+    num_towers = counts.shape[0]
+    if num_towers == 0:
+        raise ValueError("POI profile is empty")
+    towers_with_type = (counts > 0).sum(axis=0)
+    # Towers_with_type can be zero (a POI type absent from the whole city);
+    # define IDF = 0 in that case since log(M/0) is undefined and the type
+    # can never contribute anyway.
+    with np.errstate(divide="ignore"):
+        idf = np.where(
+            towers_with_type > 0, np.log(num_towers / np.maximum(towers_with_type, 1)), 0.0
+        )
+    return idf[None, :] * np.log1p(counts)
+
+
+def compute_ntf_idf(profile: POIProfile) -> np.ndarray:
+    """Return the NTF-IDF matrix (rows normalised to sum to one).
+
+    Rows whose TF-IDF sum is zero (no POI at all around the tower) are left
+    as all-zeros rather than NaN.
+    """
+    tf_idf = compute_tf_idf(profile)
+    totals = tf_idf.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    return np.where(totals > 0, tf_idf / safe, 0.0)
+
+
+def ntf_idf_of_towers(profile: POIProfile, tower_ids: np.ndarray) -> np.ndarray:
+    """Return the NTF-IDF rows of specific towers, in the given order."""
+    ntf = compute_ntf_idf(profile)
+    rows = [profile.row_of(int(tower_id)) for tower_id in np.asarray(tower_ids, dtype=int)]
+    return ntf[rows]

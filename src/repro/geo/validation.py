@@ -1,0 +1,121 @@
+"""Validation of the cluster labels (Section 3.3.2 of the paper).
+
+Two validations are provided, mirroring the paper's micro and macro checks:
+
+* **Case study** (Fig. 8): pick a geographic window, colour its area by the
+  ground-truth functional regions, and check that the labels attached to the
+  towers inside the window agree with the regions they sit in.
+* **Macro validation** (Table 3 / Fig. 9): for each cluster, compute the
+  averaged min-max-normalised POI distribution over *all* towers and check
+  that the dominant POI category matches the assigned label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.labeling import ClusterLabeling
+from repro.geo.poi_profile import POIProfile, normalized_poi_by_cluster
+from repro.synth.poi import POICategory
+from repro.synth.regions import RegionType
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Result of one case-study window (Fig. 8 analogue)."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    num_towers: int
+    num_matching: int
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of towers whose label matches the ground-truth region."""
+        if self.num_towers == 0:
+            return 1.0
+        return self.num_matching / self.num_towers
+
+
+def validate_case_study(
+    labeling: ClusterLabeling,
+    cluster_labels: np.ndarray,
+    ground_truth: np.ndarray,
+    lats: np.ndarray,
+    lons: np.ndarray,
+    *,
+    lat_range: tuple[float, float],
+    lon_range: tuple[float, float],
+) -> CaseStudyResult:
+    """Check label/ground-truth agreement inside one geographic window."""
+    cluster_array = np.asarray(cluster_labels, dtype=int)
+    truth = np.asarray(ground_truth, dtype=int)
+    lats_arr = np.asarray(lats, dtype=float)
+    lons_arr = np.asarray(lons, dtype=float)
+    if not (cluster_array.shape == truth.shape == lats_arr.shape == lons_arr.shape):
+        raise ValueError("all per-tower arrays must have the same shape")
+    lat_min, lat_max = sorted(lat_range)
+    lon_min, lon_max = sorted(lon_range)
+    in_window = (
+        (lats_arr >= lat_min)
+        & (lats_arr <= lat_max)
+        & (lons_arr >= lon_min)
+        & (lons_arr <= lon_max)
+    )
+    predicted = np.array(
+        [region.index for region in labeling.per_tower_regions(cluster_array)], dtype=int
+    )
+    matching = int(np.sum(predicted[in_window] == truth[in_window]))
+    return CaseStudyResult(
+        lat_min=lat_min,
+        lat_max=lat_max,
+        lon_min=lon_min,
+        lon_max=lon_max,
+        num_towers=int(np.sum(in_window)),
+        num_matching=matching,
+    )
+
+
+def macro_validation_table(
+    labeling: ClusterLabeling,
+    profile: POIProfile,
+    cluster_labels: np.ndarray,
+) -> dict[int, dict[str, object]]:
+    """Return, per cluster, the normalised POI row and whether the dominant
+    category matches the assigned label (macro validation of Table 3).
+
+    The returned mapping is
+    ``cluster → {"region": RegionType, "poi_row": array, "dominant": POICategory,
+    "consistent": bool}`` where ``consistent`` is ``True`` for pure clusters
+    whose dominant POI category matches their label and always ``True`` for
+    the comprehensive cluster (which by definition has no dominant type).
+    """
+    label_array = np.asarray(cluster_labels, dtype=int)
+    table = normalized_poi_by_cluster(profile, label_array)
+    unique = np.unique(label_array)
+    expected = {
+        RegionType.RESIDENT: POICategory.RESIDENT,
+        RegionType.TRANSPORT: POICategory.TRANSPORT,
+        RegionType.OFFICE: POICategory.OFFICE,
+        RegionType.ENTERTAINMENT: POICategory.ENTERTAINMENT,
+    }
+    result: dict[int, dict[str, object]] = {}
+    for index, cluster in enumerate(unique):
+        region = labeling.region_of(int(cluster))
+        row = table[index]
+        dominant = POICategory.ordered()[int(np.argmax(row))]
+        if region is RegionType.COMPREHENSIVE:
+            consistent = True
+        else:
+            consistent = dominant is expected[region]
+        result[int(cluster)] = {
+            "region": region,
+            "poi_row": row,
+            "dominant": dominant,
+            "consistent": consistent,
+        }
+    return result

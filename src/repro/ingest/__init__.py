@@ -1,0 +1,44 @@
+"""Trace ingestion and preprocessing.
+
+Mirrors Section 2.2 of the paper: raw operator logs are cleaned (redundant
+and conflicting records removed), base-station addresses are geocoded to
+latitude/longitude, and the per-km² traffic density is computed.  The
+package also defines the record dataclasses shared with the synthetic trace
+generator and simple CSV/JSONL readers and writers so traces can be stored
+on disk and re-ingested.
+"""
+
+from repro.ingest.dedup import DedupReport, deduplicate_records, resolve_conflicts
+from repro.ingest.density import TrafficDensityMap, compute_density_map
+from repro.ingest.geocode import GeocodingReport, geocode_stations
+from repro.ingest.loader import (
+    read_records_csv,
+    read_records_jsonl,
+    read_stations_csv,
+    write_records_csv,
+    write_records_jsonl,
+    write_stations_csv,
+)
+from repro.ingest.preprocess import PreprocessingReport, PreprocessingResult, preprocess_trace
+from repro.ingest.records import BaseStationInfo, TrafficRecord
+
+__all__ = [
+    "BaseStationInfo",
+    "DedupReport",
+    "GeocodingReport",
+    "PreprocessingReport",
+    "PreprocessingResult",
+    "TrafficDensityMap",
+    "TrafficRecord",
+    "compute_density_map",
+    "deduplicate_records",
+    "geocode_stations",
+    "preprocess_trace",
+    "read_records_csv",
+    "read_records_jsonl",
+    "read_stations_csv",
+    "resolve_conflicts",
+    "write_records_csv",
+    "write_records_jsonl",
+    "write_stations_csv",
+]

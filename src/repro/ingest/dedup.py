@@ -1,0 +1,154 @@
+"""Redundant-log elimination and conflict resolution.
+
+The first preprocessing step of the paper removes "redundant and conflict
+logs, such as the identical traffic logs, introduced by technical issues".
+We implement two cleaning primitives:
+
+* :func:`deduplicate_records` removes exact duplicates (identical device,
+  tower, interval, byte count and technology), keeping one copy of each.
+* :func:`resolve_conflicts` collapses conflicting versions of one connection
+  (same device, tower and interval, different byte counts) into one record,
+  using a configurable resolution strategy (median byte count by default,
+  which is robust to a single corrupted copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.ingest.records import TrafficRecord
+
+#: A conflict resolution strategy maps the byte counts of the conflicting
+#: copies of one connection to the single value to keep.
+ConflictStrategy = Callable[[np.ndarray], float]
+
+
+def median_strategy(byte_counts: np.ndarray) -> float:
+    """Keep the median byte count (robust default)."""
+    return float(np.median(byte_counts))
+
+
+def max_strategy(byte_counts: np.ndarray) -> float:
+    """Keep the maximum byte count (paranoid upper bound)."""
+    return float(np.max(byte_counts))
+
+
+def first_strategy(byte_counts: np.ndarray) -> float:
+    """Keep the first observed byte count."""
+    return float(byte_counts[0])
+
+
+@dataclass(frozen=True)
+class DedupReport:
+    """Summary of a cleaning pass."""
+
+    num_input_records: int
+    num_exact_duplicates_removed: int
+    num_conflict_groups: int
+    num_conflict_records_removed: int
+
+    @property
+    def num_output_records(self) -> int:
+        """Number of records remaining after cleaning."""
+        return (
+            self.num_input_records
+            - self.num_exact_duplicates_removed
+            - self.num_conflict_records_removed
+        )
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of input records that were exact duplicates."""
+        if self.num_input_records == 0:
+            return 0.0
+        return self.num_exact_duplicates_removed / self.num_input_records
+
+
+def deduplicate_records(
+    records: Iterable[TrafficRecord],
+) -> tuple[list[TrafficRecord], int]:
+    """Remove exact duplicates, preserving first-seen order.
+
+    Returns
+    -------
+    tuple[list[TrafficRecord], int]
+        The deduplicated records and the number of removed duplicates.
+    """
+    seen: set[tuple] = set()
+    output: list[TrafficRecord] = []
+    removed = 0
+    for record in records:
+        key = record.identity_key()
+        if key in seen:
+            removed += 1
+            continue
+        seen.add(key)
+        output.append(record)
+    return output, removed
+
+
+def resolve_conflicts(
+    records: Iterable[TrafficRecord],
+    *,
+    strategy: ConflictStrategy = median_strategy,
+) -> tuple[list[TrafficRecord], int, int]:
+    """Collapse conflicting versions of the same connection into one record.
+
+    Returns
+    -------
+    tuple[list[TrafficRecord], int, int]
+        The resolved records (first-seen order), the number of conflict
+        groups found, and the number of records removed by the resolution.
+    """
+    groups: dict[tuple, list[TrafficRecord]] = {}
+    order: list[tuple] = []
+    for record in records:
+        key = record.conflict_key()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+
+    output: list[TrafficRecord] = []
+    conflict_groups = 0
+    removed = 0
+    for key in order:
+        group = groups[key]
+        if len(group) == 1:
+            output.append(group[0])
+            continue
+        byte_counts = np.array([record.bytes_used for record in group], dtype=float)
+        if np.unique(byte_counts).size == 1:
+            # Identical copies that survived exact dedup only differ in
+            # network field ordering; keep the first.
+            output.append(group[0])
+            removed += len(group) - 1
+            continue
+        conflict_groups += 1
+        removed += len(group) - 1
+        resolved_bytes = strategy(byte_counts)
+        output.append(group[0].with_bytes(resolved_bytes))
+    return output, conflict_groups, removed
+
+
+def clean_records(
+    records: Iterable[TrafficRecord],
+    *,
+    strategy: ConflictStrategy = median_strategy,
+) -> tuple[list[TrafficRecord], DedupReport]:
+    """Run both cleaning primitives and return the records plus a report."""
+    records_list = list(records)
+    deduplicated, duplicates_removed = deduplicate_records(records_list)
+    resolved, conflict_groups, conflict_removed = resolve_conflicts(
+        deduplicated, strategy=strategy
+    )
+    report = DedupReport(
+        num_input_records=len(records_list),
+        num_exact_duplicates_removed=duplicates_removed,
+        num_conflict_groups=conflict_groups,
+        num_conflict_records_removed=conflict_removed,
+    )
+    return resolved, report

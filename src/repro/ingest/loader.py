@@ -1,0 +1,175 @@
+"""Trace readers and writers (CSV and JSON-lines).
+
+The paper processes unstructured operator logs on Hadoop; for the
+reproduction, traces are exchanged as flat CSV or JSONL files.  Readers are
+streaming (line by line) so traces larger than memory can be ingested, and
+malformed lines raise informative errors with the offending line number.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.ingest.records import BaseStationInfo, TrafficRecord
+
+_RECORD_FIELDS = ("user_id", "tower_id", "start_s", "end_s", "bytes_used", "network")
+_STATION_FIELDS = ("tower_id", "address", "lat", "lon")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not match the expected schema."""
+
+
+def write_records_csv(records: Iterable[TrafficRecord], path: str | Path) -> int:
+    """Write records to a CSV file; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    record.user_id,
+                    record.tower_id,
+                    repr(record.start_s),
+                    repr(record.end_s),
+                    repr(record.bytes_used),
+                    record.network,
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_records_csv(path: str | Path) -> Iterator[TrafficRecord]:
+    """Stream records from a CSV file written by :func:`write_records_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _RECORD_FIELDS:
+            raise TraceFormatError(
+                f"{path}: unexpected header {header!r}, expected {_RECORD_FIELDS}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_RECORD_FIELDS):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected {len(_RECORD_FIELDS)} fields, got {len(row)}"
+                )
+            try:
+                yield TrafficRecord(
+                    user_id=int(row[0]),
+                    tower_id=int(row[1]),
+                    start_s=float(row[2]),
+                    end_s=float(row[3]),
+                    bytes_used=float(row[4]),
+                    network=row[5],
+                )
+            except (ValueError, TypeError) as error:
+                raise TraceFormatError(f"{path}:{line_number}: {error}") from error
+
+
+def write_records_jsonl(records: Iterable[TrafficRecord], path: str | Path) -> int:
+    """Write records to a JSON-lines file; returns the number of rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "user_id": record.user_id,
+                        "tower_id": record.tower_id,
+                        "start_s": record.start_s,
+                        "end_s": record.end_s,
+                        "bytes_used": record.bytes_used,
+                        "network": record.network,
+                    }
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_records_jsonl(path: str | Path) -> Iterator[TrafficRecord]:
+    """Stream records from a JSON-lines file."""
+    path = Path(path)
+    with path.open("r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+                yield TrafficRecord(
+                    user_id=int(payload["user_id"]),
+                    tower_id=int(payload["tower_id"]),
+                    start_s=float(payload["start_s"]),
+                    end_s=float(payload["end_s"]),
+                    bytes_used=float(payload["bytes_used"]),
+                    network=str(payload.get("network", "LTE")),
+                )
+            except (KeyError, ValueError, TypeError, json.JSONDecodeError) as error:
+                raise TraceFormatError(f"{path}:{line_number}: {error}") from error
+
+
+def write_stations_csv(stations: Iterable[BaseStationInfo], path: str | Path) -> int:
+    """Write station metadata to a CSV file; returns the number of rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_STATION_FIELDS)
+        for station in stations:
+            writer.writerow(
+                [
+                    station.tower_id,
+                    station.address,
+                    "" if station.lat is None else repr(station.lat),
+                    "" if station.lon is None else repr(station.lon),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_stations_csv(path: str | Path) -> list[BaseStationInfo]:
+    """Read station metadata from a CSV file."""
+    path = Path(path)
+    stations: list[BaseStationInfo] = []
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _STATION_FIELDS:
+            raise TraceFormatError(
+                f"{path}: unexpected header {header!r}, expected {_STATION_FIELDS}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_STATION_FIELDS):
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected {len(_STATION_FIELDS)} fields, got {len(row)}"
+                )
+            try:
+                stations.append(
+                    BaseStationInfo(
+                        tower_id=int(row[0]),
+                        address=row[1],
+                        lat=float(row[2]) if row[2] else None,
+                        lon=float(row[3]) if row[3] else None,
+                    )
+                )
+            except (ValueError, TypeError) as error:
+                raise TraceFormatError(f"{path}:{line_number}: {error}") from error
+    return stations

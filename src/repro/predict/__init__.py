@@ -1,0 +1,37 @@
+"""Traffic prediction on top of the pattern model (extension).
+
+The paper motivates pattern modelling with forward-looking applications: an
+ISP can customise load balancing per tower and "mobile users will benefit …
+because they can choose towers with predicted lower traffic".  This package
+provides that missing piece as an extension of the reproduction:
+
+* naive, seasonal-naive and moving-average baselines
+  (:mod:`repro.predict.baselines`);
+* a spectral predictor that extrapolates the principal DFT components
+  (:mod:`repro.predict.spectral`);
+* a pattern-aware predictor that forecasts a tower from its cluster's
+  average weekly shape scaled to the tower's own level
+  (:mod:`repro.predict.pattern`);
+* a backtesting harness with MAE/RMSE/sMAPE metrics
+  (:mod:`repro.predict.evaluate`).
+"""
+
+from repro.predict.baselines import (
+    MovingAveragePredictor,
+    NaivePredictor,
+    SeasonalNaivePredictor,
+)
+from repro.predict.evaluate import ForecastMetrics, backtest, evaluate_forecast
+from repro.predict.pattern import PatternPredictor
+from repro.predict.spectral import SpectralPredictor
+
+__all__ = [
+    "ForecastMetrics",
+    "MovingAveragePredictor",
+    "NaivePredictor",
+    "PatternPredictor",
+    "SeasonalNaivePredictor",
+    "SpectralPredictor",
+    "backtest",
+    "evaluate_forecast",
+]

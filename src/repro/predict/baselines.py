@@ -1,0 +1,121 @@
+"""Baseline traffic predictors.
+
+All predictors share the same minimal interface: :meth:`fit` takes the
+historical per-slot traffic of one tower, :meth:`predict` returns the
+forecast for the next ``horizon`` slots.  Baselines are deliberately simple —
+they are the comparison points for the spectral and pattern-aware predictors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+class _FittedMixin:
+    """Shared fitted-state handling."""
+
+    def __init__(self) -> None:
+        self._history: np.ndarray | None = None
+
+    def _check_fitted(self) -> np.ndarray:
+        if self._history is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted yet")
+        return self._history
+
+    @staticmethod
+    def _check_history(history: np.ndarray, minimum: int) -> np.ndarray:
+        arr = np.asarray(history, dtype=float).ravel()
+        if arr.size < minimum:
+            raise ValueError(
+                f"history must contain at least {minimum} slots, got {arr.size}"
+            )
+        if np.any(arr < 0):
+            raise ValueError("traffic history must be non-negative")
+        return arr
+
+    @staticmethod
+    def _check_horizon(horizon: int) -> int:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        return horizon
+
+
+class NaivePredictor(_FittedMixin):
+    """Predict every future slot as the last observed value."""
+
+    def fit(self, history: np.ndarray) -> "NaivePredictor":
+        """Store the history (at least one slot)."""
+        self._history = self._check_history(history, 1)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Return a constant forecast equal to the last observation."""
+        history = self._check_fitted()
+        return np.full(self._check_horizon(horizon), history[-1])
+
+
+class SeasonalNaivePredictor(_FittedMixin):
+    """Repeat the traffic observed one season (day or week) earlier.
+
+    Parameters
+    ----------
+    season_slots:
+        Season length in slots; defaults to one week (1,008 slots), falling
+        back to one day when the history is shorter than a week.
+    """
+
+    def __init__(self, season_slots: int | None = None) -> None:
+        super().__init__()
+        if season_slots is not None and season_slots <= 0:
+            raise ValueError(f"season_slots must be positive, got {season_slots}")
+        self._requested_season = season_slots
+        self.season_slots: int | None = None
+
+    def fit(self, history: np.ndarray) -> "SeasonalNaivePredictor":
+        """Store the history and resolve the season length."""
+        arr = self._check_history(history, SLOTS_PER_DAY)
+        if self._requested_season is not None:
+            season = self._requested_season
+        elif arr.size >= SLOTS_PER_WEEK:
+            season = SLOTS_PER_WEEK
+        else:
+            season = SLOTS_PER_DAY
+        if arr.size < season:
+            raise ValueError(
+                f"history ({arr.size} slots) is shorter than the season ({season})"
+            )
+        self._history = arr
+        self.season_slots = season
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Repeat the last season cyclically over the horizon."""
+        history = self._check_fitted()
+        horizon = self._check_horizon(horizon)
+        assert self.season_slots is not None
+        last_season = history[-self.season_slots :]
+        repeats = int(np.ceil(horizon / self.season_slots))
+        return np.tile(last_season, repeats)[:horizon]
+
+
+class MovingAveragePredictor(_FittedMixin):
+    """Predict every future slot as the mean of the last ``window`` slots."""
+
+    def __init__(self, window: int = SLOTS_PER_DAY) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+
+    def fit(self, history: np.ndarray) -> "MovingAveragePredictor":
+        """Store the history (at least ``window`` slots)."""
+        self._history = self._check_history(history, self.window)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Return a constant forecast equal to the trailing mean."""
+        history = self._check_fitted()
+        level = float(history[-self.window :].mean())
+        return np.full(self._check_horizon(horizon), level)

@@ -1,0 +1,99 @@
+"""Forecast evaluation: error metrics and a simple backtesting harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+
+class Predictor(Protocol):
+    """Anything with the fit/predict interface of the predictors here."""
+
+    def fit(self, history: np.ndarray) -> "Predictor":
+        """Fit on a traffic history."""
+        ...  # pragma: no cover - protocol definition
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` slots."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class ForecastMetrics:
+    """Error metrics of one forecast."""
+
+    mae: float
+    rmse: float
+    smape: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the metrics as a dictionary."""
+        return {"mae": self.mae, "rmse": self.rmse, "smape": self.smape}
+
+
+def evaluate_forecast(actual: np.ndarray, forecast: np.ndarray) -> ForecastMetrics:
+    """Return MAE, RMSE and sMAPE of ``forecast`` against ``actual``.
+
+    sMAPE is the symmetric mean absolute percentage error in ``[0, 2]``;
+    slots where both actual and forecast are zero contribute zero error.
+    """
+    actual_arr = np.asarray(actual, dtype=float).ravel()
+    forecast_arr = np.asarray(forecast, dtype=float).ravel()
+    if actual_arr.shape != forecast_arr.shape:
+        raise ValueError(
+            f"shape mismatch: actual {actual_arr.shape} vs forecast {forecast_arr.shape}"
+        )
+    if actual_arr.size == 0:
+        raise ValueError("cannot evaluate an empty forecast")
+    errors = forecast_arr - actual_arr
+    mae = float(np.mean(np.abs(errors)))
+    rmse = float(np.sqrt(np.mean(errors**2)))
+    denominator = np.abs(actual_arr) + np.abs(forecast_arr)
+    smape_terms = np.where(denominator > 0, 2.0 * np.abs(errors) / np.where(denominator > 0, denominator, 1.0), 0.0)
+    smape = float(np.mean(smape_terms))
+    return ForecastMetrics(mae=mae, rmse=rmse, smape=smape)
+
+
+def backtest(
+    series: np.ndarray,
+    predictor_factory: Callable[[], Predictor],
+    *,
+    train_slots: int,
+    horizon: int,
+    step: int | None = None,
+) -> ForecastMetrics:
+    """Rolling-origin backtest of a predictor on one traffic series.
+
+    The series is split into successive (train, test) windows: the predictor
+    is fitted on ``series[:origin]`` and evaluated on the next ``horizon``
+    slots, with the origin advanced by ``step`` (default: ``horizon``) until
+    the series is exhausted.  Metrics are averaged over all folds, weighting
+    every fold equally.
+    """
+    arr = np.asarray(series, dtype=float).ravel()
+    if train_slots <= 0 or horizon <= 0:
+        raise ValueError("train_slots and horizon must be positive")
+    if arr.size < train_slots + horizon:
+        raise ValueError(
+            f"series of {arr.size} slots is too short for train={train_slots} + horizon={horizon}"
+        )
+    advance = step if step is not None else horizon
+    if advance <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+
+    maes, rmses, smapes = [], [], []
+    origin = train_slots
+    while origin + horizon <= arr.size:
+        predictor = predictor_factory()
+        predictor.fit(arr[:origin])
+        forecast = predictor.predict(horizon)
+        metrics = evaluate_forecast(arr[origin : origin + horizon], forecast)
+        maes.append(metrics.mae)
+        rmses.append(metrics.rmse)
+        smapes.append(metrics.smape)
+        origin += advance
+    return ForecastMetrics(
+        mae=float(np.mean(maes)), rmse=float(np.mean(rmses)), smape=float(np.mean(smapes))
+    )

@@ -1,0 +1,94 @@
+"""Pattern-aware traffic predictor.
+
+Forecasts a tower from the *pattern* it belongs to: the cluster's average
+weekly shape (estimated over all member towers) is scaled to the target
+tower's own traffic level.  This is exactly the operational use the paper
+motivates — once an ISP knows a tower's pattern, the pattern's shape is a
+strong prior for the tower's future traffic, even for towers with short or
+noisy individual histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predict.baselines import _FittedMixin
+from repro.utils.timeutils import SLOTS_PER_WEEK
+
+
+class PatternPredictor(_FittedMixin):
+    """Forecast a tower from its cluster's average weekly profile.
+
+    Parameters
+    ----------
+    cluster_weekly_profile:
+        The cluster's average weekly shape (1,008 slots, any positive scale).
+        Typically built from the cluster aggregate of the fitted
+        :class:`~repro.core.model.TrafficPatternModel` via
+        :func:`repro.analysis.temporal.weekly_profile`.
+    start_slot_of_week:
+        Which slot of the week the *first* history slot corresponds to
+        (0 = Monday 00:00); forecasts continue the cycle from the end of the
+        history.
+    """
+
+    def __init__(
+        self,
+        cluster_weekly_profile: np.ndarray,
+        *,
+        start_slot_of_week: int = 0,
+    ) -> None:
+        super().__init__()
+        profile = np.asarray(cluster_weekly_profile, dtype=float).ravel()
+        if profile.size != SLOTS_PER_WEEK:
+            raise ValueError(
+                f"cluster_weekly_profile must have {SLOTS_PER_WEEK} slots, got {profile.size}"
+            )
+        if np.any(profile < 0) or profile.sum() == 0:
+            raise ValueError("cluster_weekly_profile must be non-negative and non-zero")
+        if not 0 <= start_slot_of_week < SLOTS_PER_WEEK:
+            raise ValueError(
+                f"start_slot_of_week must be in [0, {SLOTS_PER_WEEK}), got {start_slot_of_week}"
+            )
+        # Normalise so the profile's mean is one: the fitted scale is then the
+        # tower's mean traffic level.
+        self._shape = profile / profile.mean()
+        self._start_slot = start_slot_of_week
+        self._level: float | None = None
+
+    def fit(self, history: np.ndarray) -> "PatternPredictor":
+        """Estimate the tower's traffic level from its history.
+
+        The level is the ratio between the tower's observed traffic and the
+        cluster shape over the aligned history window, which is robust to the
+        history length not being a whole number of weeks.
+        """
+        arr = self._check_history(history, 1)
+        aligned = np.array(
+            [
+                self._shape[(self._start_slot + offset) % SLOTS_PER_WEEK]
+                for offset in range(arr.size)
+            ]
+        )
+        shape_mass = float(np.sum(aligned))
+        if shape_mass <= 0:
+            raise ValueError("aligned cluster shape has zero mass over the history window")
+        self._level = float(np.sum(arr) / shape_mass)
+        self._history = arr
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Continue the scaled cluster shape over the next ``horizon`` slots."""
+        history = self._check_fitted()
+        horizon = self._check_horizon(horizon)
+        if self._level is None:
+            raise RuntimeError("predictor has not been fitted")
+        offsets = self._start_slot + history.size + np.arange(horizon)
+        return self._level * self._shape[offsets % SLOTS_PER_WEEK]
+
+    @property
+    def level(self) -> float:
+        """Return the fitted per-slot traffic level of the tower."""
+        if self._level is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self._level

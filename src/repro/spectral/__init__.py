@@ -1,0 +1,37 @@
+"""Frequency-domain representation of tower traffic (Section 5 of the paper).
+
+Provides the discrete Fourier transform of traffic vectors, identification of
+the principal frequency components (one week, one day, half a day), band-
+limited reconstruction and its energy-loss metric, per-tower amplitude/phase
+features at the principal components, and the cross-pattern variance
+analysis.
+"""
+
+from repro.spectral.components import (
+    PrincipalComponents,
+    principal_components_for_window,
+    reconstruct_from_components,
+    reconstruction_energy_loss,
+)
+from repro.spectral.dft import amplitude_spectrum, dft, inverse_dft, phase_spectrum
+from repro.spectral.features import (
+    FrequencyFeatures,
+    cluster_feature_statistics,
+    extract_frequency_features,
+)
+from repro.spectral.variance import amplitude_variance_across_groups
+
+__all__ = [
+    "FrequencyFeatures",
+    "PrincipalComponents",
+    "amplitude_spectrum",
+    "amplitude_variance_across_groups",
+    "cluster_feature_statistics",
+    "dft",
+    "extract_frequency_features",
+    "inverse_dft",
+    "phase_spectrum",
+    "principal_components_for_window",
+    "reconstruct_from_components",
+    "reconstruction_energy_loss",
+]

@@ -1,0 +1,75 @@
+"""Cross-pattern variance of DFT amplitudes (Fig. 13 of the paper).
+
+The paper shows that the variance of the normalised DFT amplitude across the
+identified patterns (or across towers) peaks at the three principal
+components, i.e. those frequencies are the most discriminative ones for
+telling traffic patterns apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectral.dft import amplitude_spectrum
+
+
+def amplitude_variance_across_groups(
+    series_by_group: dict[int, np.ndarray],
+    *,
+    max_frequency: int | None = None,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return the per-frequency variance of DFT amplitude across groups.
+
+    Parameters
+    ----------
+    series_by_group:
+        Mapping from group label (e.g. cluster index) to that group's
+        aggregate traffic series; all series must share the same length.
+    max_frequency:
+        Truncate the output to frequencies ``0 … max_frequency`` (the paper
+        plots up to k = 100).
+    normalize:
+        Normalise each group's amplitude spectrum by its total energy before
+        taking the variance, so groups with larger absolute traffic do not
+        dominate.
+
+    Returns
+    -------
+    tuple[np.ndarray, np.ndarray]
+        ``(frequencies, variances)``.
+    """
+    if not series_by_group:
+        raise ValueError("series_by_group must not be empty")
+    lengths = {np.asarray(series).size for series in series_by_group.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all series must have the same length, got {lengths}")
+    (length,) = lengths
+
+    spectra = []
+    for label in sorted(series_by_group):
+        amplitude = amplitude_spectrum(np.asarray(series_by_group[label], dtype=float))
+        if normalize:
+            total = amplitude[1:].sum()
+            if total > 0:
+                amplitude = amplitude / total
+        spectra.append(amplitude)
+    stacked = np.vstack(spectra)
+    variances = stacked.var(axis=0)
+
+    limit = length if max_frequency is None else min(max_frequency + 1, length)
+    frequencies = np.arange(limit)
+    return frequencies, variances[:limit]
+
+
+def most_discriminative_frequencies(
+    series_by_group: dict[int, np.ndarray], *, count: int = 3
+) -> np.ndarray:
+    """Return the ``count`` non-DC frequencies with the largest cross-group variance."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    frequencies, variances = amplitude_variance_across_groups(series_by_group)
+    half = variances.size // 2 + 1
+    candidates = variances[1:half]
+    order = np.argsort(candidates)[::-1][:count]
+    return np.sort(order + 1)

@@ -1,0 +1,68 @@
+"""Synthetic urban cellular traffic substrate.
+
+The paper analyses a proprietary month-long trace collected by a Shanghai
+operator (9,600 towers, 150,000 subscribers).  That trace is not available,
+so this package provides a faithful synthetic replacement:
+
+* a city model with urban functional regions (resident, transport, office,
+  entertainment, comprehensive), a point-of-interest (POI) layer and cellular
+  towers placed inside those regions (:mod:`repro.synth.city`,
+  :mod:`repro.synth.regions`, :mod:`repro.synth.poi`,
+  :mod:`repro.synth.towers`);
+* ground-truth diurnal/weekly activity templates per region type matching the
+  qualitative shapes the paper reports (:mod:`repro.synth.activity`);
+* a user population with home/work anchors (:mod:`repro.synth.users`);
+* a fast profile-level traffic generator producing per-tower 10-minute series
+  (:mod:`repro.synth.traffic`) and a session-level generator producing raw
+  connection logs that exercise the full ingestion pipeline
+  (:mod:`repro.synth.sessions`);
+* log corruption (duplicates and conflicting records) so the cleaning stage
+  has realistic work to do (:mod:`repro.synth.noise`);
+* a deterministic geocoding service standing in for the Baidu Map API
+  (:mod:`repro.synth.geocoder`);
+* a one-call scenario builder (:mod:`repro.synth.scenario`).
+"""
+
+from repro.synth.activity import ActivityProfileLibrary, ActivityTemplate
+from repro.synth.city import CityConfig, CityModel, build_city
+from repro.synth.geocoder import GeocodeResult, SyntheticGeocoder
+from repro.synth.noise import LogCorruptionConfig, corrupt_records
+from repro.synth.poi import POI, POICategory, generate_pois
+from repro.synth.regions import Region, RegionLayoutConfig, RegionType, generate_regions
+from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
+from repro.synth.sessions import SessionGenerationConfig, generate_session_records
+from repro.synth.towers import Tower, place_towers
+from repro.synth.traffic import TrafficGenerationConfig, TowerTrafficMatrix, generate_tower_traffic
+from repro.synth.users import User, UserPopulationConfig, generate_users
+
+__all__ = [
+    "ActivityProfileLibrary",
+    "ActivityTemplate",
+    "CityConfig",
+    "CityModel",
+    "GeocodeResult",
+    "LogCorruptionConfig",
+    "POI",
+    "POICategory",
+    "Region",
+    "RegionLayoutConfig",
+    "RegionType",
+    "Scenario",
+    "ScenarioConfig",
+    "SessionGenerationConfig",
+    "SyntheticGeocoder",
+    "Tower",
+    "TowerTrafficMatrix",
+    "TrafficGenerationConfig",
+    "User",
+    "UserPopulationConfig",
+    "build_city",
+    "corrupt_records",
+    "generate_pois",
+    "generate_regions",
+    "generate_scenario",
+    "generate_session_records",
+    "generate_tower_traffic",
+    "generate_users",
+    "place_towers",
+]

@@ -1,0 +1,210 @@
+"""Ground-truth diurnal/weekly activity templates per urban functional region.
+
+These templates encode the qualitative traffic shapes the paper reports:
+
+* **Resident** — two peaks (around noon and ~21:30), traffic stays relatively
+  high across the evening and night, nearly identical on weekdays and
+  weekends, moderate peak-valley ratio (~9).
+* **Transport** — two sharp rush-hour peaks at 08:00 and 18:00 on weekdays,
+  extremely low traffic at night (peak-valley ratio > 100), noticeably less
+  traffic at weekends (weekday/weekend amount ratio ≈ 1.5).
+* **Office** — a single broad peak late morning (~10:30–12:00) on weekdays,
+  very low nights, much lower weekend traffic (amount ratio ≈ 1.8).
+* **Entertainment** — evening peak at 18:00 on weekdays, midday peak (~12:30)
+  at weekends, comparable total traffic on weekdays and weekends.
+* **Comprehensive** — a convex mixture of the four pure templates.
+
+Templates are expressed per 10-minute slot over a full week (1,008 slots) and
+are strictly positive so they can be used directly as Poisson/renewal rates
+by the session generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.regions import RegionType
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK
+from repro.utils.validation import check_probability_vector
+
+
+def _gaussian_bump(hours: np.ndarray, center: float, width: float, height: float) -> np.ndarray:
+    """Return a periodic (24 h) Gaussian bump evaluated at ``hours``."""
+    delta = np.minimum(np.abs(hours - center), 24.0 - np.abs(hours - center))
+    return height * np.exp(-0.5 * (delta / width) ** 2)
+
+
+def _daily_profile(
+    *,
+    bumps: list[tuple[float, float, float]],
+    night_floor: float,
+    day_floor: float,
+) -> np.ndarray:
+    """Build a 144-slot daily profile from Gaussian bumps plus floors.
+
+    ``night_floor`` applies between 01:00 and 06:00; ``day_floor`` applies
+    elsewhere, with a smooth morning ramp between 06:00 and 09:00.
+    """
+    hours = (np.arange(SLOTS_PER_DAY) + 0.5) * (24.0 / SLOTS_PER_DAY)
+    profile = np.zeros(SLOTS_PER_DAY)
+    for center, width, height in bumps:
+        profile += _gaussian_bump(hours, center, width, height)
+    floor = np.where((hours >= 1.0) & (hours < 6.0), night_floor, day_floor)
+    ramp = np.clip((hours - 6.0) / 3.0, 0.0, 1.0)
+    floor = night_floor + (floor - night_floor) * np.where(hours < 6.0, 0.0, ramp)
+    floor = np.where(hours < 1.0, day_floor * 0.6 + night_floor * 0.4, floor)
+    return profile + floor
+
+
+def _resident_day(weekend: bool) -> np.ndarray:
+    bumps = [(12.5, 1.8, 0.30), (21.3, 2.2, 1.0), (18.5, 1.5, 0.25)]
+    if weekend:
+        bumps = [(11.5, 2.0, 0.45), (21.5, 2.2, 1.0), (15.0, 2.5, 0.3)]
+    return _daily_profile(bumps=bumps, night_floor=0.12, day_floor=0.28)
+
+
+def _transport_day(weekend: bool) -> np.ndarray:
+    if weekend:
+        bumps = [(10.5, 1.6, 0.4), (18.0, 1.8, 0.62)]
+        return _daily_profile(bumps=bumps, night_floor=0.006, day_floor=0.05)
+    # The two rush-hour peaks sit roughly twelve hours apart, which is what
+    # gives transport towers their dominant half-day spectral component.
+    bumps = [(7.5, 0.9, 1.0), (18.5, 1.0, 0.95), (12.5, 1.8, 0.25)]
+    return _daily_profile(bumps=bumps, night_floor=0.0075, day_floor=0.06)
+
+
+def _office_day(weekend: bool) -> np.ndarray:
+    if weekend:
+        bumps = [(12.0, 2.2, 0.52)]
+        return _daily_profile(bumps=bumps, night_floor=0.035, day_floor=0.06)
+    bumps = [(10.5, 1.8, 0.85), (12.0, 1.5, 0.75), (15.0, 2.0, 0.55)]
+    return _daily_profile(bumps=bumps, night_floor=0.042, day_floor=0.08)
+
+
+def _entertainment_day(weekend: bool) -> np.ndarray:
+    if weekend:
+        bumps = [(12.5, 1.8, 1.0), (16.0, 2.0, 0.6), (20.0, 2.0, 0.5)]
+        return _daily_profile(bumps=bumps, night_floor=0.03, day_floor=0.07)
+    bumps = [(18.0, 1.8, 1.0), (12.5, 1.6, 0.55), (20.5, 1.8, 0.6)]
+    return _daily_profile(bumps=bumps, night_floor=0.028, day_floor=0.06)
+
+
+_PURE_BUILDERS = {
+    RegionType.RESIDENT: _resident_day,
+    RegionType.TRANSPORT: _transport_day,
+    RegionType.OFFICE: _office_day,
+    RegionType.ENTERTAINMENT: _entertainment_day,
+}
+
+
+@dataclass(frozen=True)
+class ActivityTemplate:
+    """A weekly activity template for one region type (or mixture).
+
+    Attributes
+    ----------
+    region_type:
+        The region type the template describes (``None`` for ad-hoc
+        mixtures).
+    weekly:
+        Strictly positive array of length 1,008 (7 days × 144 slots); day 0
+        is Monday.  The template is normalised so its weekly mean is 1.0,
+        which makes amplitudes directly interpretable as mean traffic levels.
+    """
+
+    region_type: RegionType | None
+    weekly: np.ndarray
+
+    def __post_init__(self) -> None:
+        weekly = np.asarray(self.weekly, dtype=float)
+        if weekly.shape != (SLOTS_PER_WEEK,):
+            raise ValueError(
+                f"weekly template must have {SLOTS_PER_WEEK} slots, got {weekly.shape}"
+            )
+        if np.any(weekly <= 0):
+            raise ValueError("weekly template must be strictly positive")
+        object.__setattr__(self, "weekly", weekly)
+
+    def day(self, weekday: int) -> np.ndarray:
+        """Return the 144-slot profile of weekday ``weekday`` (0 = Monday)."""
+        if not 0 <= weekday <= 6:
+            raise ValueError(f"weekday must be in [0, 6], got {weekday}")
+        start = weekday * SLOTS_PER_DAY
+        return self.weekly[start : start + SLOTS_PER_DAY]
+
+    def tile(self, num_days: int, *, start_weekday: int = 0) -> np.ndarray:
+        """Tile the weekly template across ``num_days`` days."""
+        if num_days <= 0:
+            raise ValueError(f"num_days must be positive, got {num_days}")
+        days = [self.day((start_weekday + day) % 7) for day in range(num_days)]
+        return np.concatenate(days)
+
+
+class ActivityProfileLibrary:
+    """Factory for the ground-truth weekly activity templates.
+
+    The library memoises the four pure templates and builds mixtures on
+    demand.  All templates are normalised to a weekly mean of 1.0.
+    """
+
+    def __init__(self) -> None:
+        self._pure_cache: dict[RegionType, ActivityTemplate] = {}
+
+    @staticmethod
+    def _normalise(weekly: np.ndarray) -> np.ndarray:
+        mean = weekly.mean()
+        if mean <= 0:
+            raise ValueError("template mean must be positive")
+        return weekly / mean
+
+    def _build_pure(self, region_type: RegionType) -> ActivityTemplate:
+        builder = _PURE_BUILDERS[region_type]
+        days = []
+        for weekday in range(7):
+            weekend = weekday >= 5
+            days.append(builder(weekend))
+        weekly = self._normalise(np.concatenate(days))
+        return ActivityTemplate(region_type=region_type, weekly=weekly)
+
+    def pure(self, region_type: RegionType) -> ActivityTemplate:
+        """Return the template of one of the four pure region types."""
+        if region_type is RegionType.COMPREHENSIVE:
+            raise ValueError(
+                "comprehensive regions are mixtures; use mixture() with weights"
+            )
+        if region_type not in self._pure_cache:
+            self._pure_cache[region_type] = self._build_pure(region_type)
+        return self._pure_cache[region_type]
+
+    def mixture(self, weights: tuple[float, float, float, float]) -> ActivityTemplate:
+        """Return a mixture template with the given weights over pure types.
+
+        Weights are indexed in the order resident, transport, office,
+        entertainment, must be non-negative and sum to one.
+        """
+        weights_arr = check_probability_vector(weights, "weights")
+        weekly = np.zeros(SLOTS_PER_WEEK)
+        for weight, region_type in zip(weights_arr, RegionType.pure_types()):
+            if weight > 0:
+                weekly += weight * self.pure(region_type).weekly
+        weekly = self._normalise(weekly)
+        return ActivityTemplate(region_type=RegionType.COMPREHENSIVE, weekly=weekly)
+
+    def for_region_type(
+        self,
+        region_type: RegionType,
+        *,
+        mixture: tuple[float, float, float, float] | None = None,
+    ) -> ActivityTemplate:
+        """Return the template of ``region_type``; mixtures need weights."""
+        if region_type is RegionType.COMPREHENSIVE:
+            if mixture is None:
+                mixture = (0.35, 0.1, 0.3, 0.25)
+            return self.mixture(mixture)
+        return self.pure(region_type)
+
+    def all_pure(self) -> dict[RegionType, ActivityTemplate]:
+        """Return templates for all four pure types."""
+        return {region_type: self.pure(region_type) for region_type in RegionType.pure_types()}

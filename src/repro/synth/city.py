@@ -1,0 +1,114 @@
+"""The synthetic city model: regions + POIs + towers in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.synth.poi import POI, POIGenerationConfig, generate_pois
+from repro.synth.regions import Region, RegionLayoutConfig, RegionType, generate_regions
+from repro.synth.towers import Tower, TowerPlacementConfig, place_towers, tower_coordinate_arrays
+from repro.utils.geometry import GridSpec
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Configuration of the whole synthetic city."""
+
+    layout: RegionLayoutConfig = field(default_factory=RegionLayoutConfig)
+    pois: POIGenerationConfig = field(default_factory=POIGenerationConfig)
+    towers: TowerPlacementConfig = field(default_factory=TowerPlacementConfig)
+    seed: int = 0
+
+
+@dataclass
+class CityModel:
+    """A generated synthetic city.
+
+    Holds the region layout, the POI layer and the tower list, plus lookup
+    helpers used throughout the geographic analysis.
+    """
+
+    config: CityConfig
+    regions: list[Region]
+    pois: list[POI]
+    towers: list[Tower]
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("a city needs at least one region")
+        if not self.towers:
+            raise ValueError("a city needs at least one tower")
+        self._towers_by_id = {tower.tower_id: tower for tower in self.towers}
+        self._regions_by_id = {region.region_id: region for region in self.regions}
+
+    @property
+    def num_towers(self) -> int:
+        """Number of towers in the city."""
+        return len(self.towers)
+
+    @property
+    def num_regions(self) -> int:
+        """Number of regions in the city."""
+        return len(self.regions)
+
+    @property
+    def num_pois(self) -> int:
+        """Number of POIs in the city."""
+        return len(self.pois)
+
+    def tower(self, tower_id: int) -> Tower:
+        """Return the tower with the given identifier."""
+        try:
+            return self._towers_by_id[tower_id]
+        except KeyError as error:
+            raise KeyError(f"unknown tower id {tower_id}") from error
+
+    def region(self, region_id: int) -> Region:
+        """Return the region with the given identifier."""
+        try:
+            return self._regions_by_id[region_id]
+        except KeyError as error:
+            raise KeyError(f"unknown region id {region_id}") from error
+
+    def region_of_tower(self, tower_id: int) -> Region:
+        """Return the region a tower belongs to."""
+        return self.region(self.tower(tower_id).region_id)
+
+    def tower_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(lats, lons)`` arrays of all towers."""
+        return tower_coordinate_arrays(self.towers)
+
+    def ground_truth_labels(self) -> np.ndarray:
+        """Return the ground-truth cluster index (0..4) per tower."""
+        return np.array([tower.region_type.index for tower in self.towers], dtype=int)
+
+    def towers_of_type(self, region_type: RegionType) -> list[Tower]:
+        """Return the towers whose ground-truth region type matches."""
+        return [tower for tower in self.towers if tower.region_type is region_type]
+
+    def default_grid(self, *, num_rows: int = 40, num_cols: int = 40) -> GridSpec:
+        """Return a grid spec covering the city's tower bounding box."""
+        lats, lons = self.tower_coordinates()
+        return GridSpec.from_points(lats, lons, num_rows=num_rows, num_cols=num_cols)
+
+    def type_fractions(self) -> dict[RegionType, float]:
+        """Return the fraction of towers belonging to each ground-truth type."""
+        labels = self.ground_truth_labels()
+        total = labels.size
+        return {
+            region_type: float(np.sum(labels == region_type.index)) / total
+            for region_type in RegionType.ordered()
+        }
+
+
+def build_city(config: CityConfig | None = None) -> CityModel:
+    """Build a synthetic city from a configuration (deterministic per seed)."""
+    cfg = config or CityConfig()
+    factory = SeedSequenceFactory(cfg.seed)
+    regions = generate_regions(cfg.layout, rng=factory.generator("regions"))
+    pois = generate_pois(regions, cfg.pois, rng=factory.generator("pois"))
+    towers = place_towers(regions, cfg.towers, rng=factory.generator("towers"))
+    return CityModel(config=cfg, regions=regions, pois=pois, towers=towers)

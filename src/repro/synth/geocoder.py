@@ -1,0 +1,129 @@
+"""Deterministic geocoding service standing in for the Baidu Map API.
+
+The paper converts base-station addresses to longitude/latitude "through APIs
+provided by Baidu Map".  The synthetic geocoder exposes the same
+functionality behind an API-like interface: lookups by address string, an
+internal directory, an LRU-style cache, an optional per-call failure rate
+(to exercise error handling in the preprocessing pipeline) and call counting
+(so tests can assert the cache actually prevents repeated lookups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.towers import Tower
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class GeocodeResult:
+    """Result of geocoding one address."""
+
+    address: str
+    lat: float
+    lon: float
+    confidence: float = 1.0
+
+
+class GeocodingError(KeyError):
+    """Raised when an address cannot be resolved."""
+
+
+class SyntheticGeocoder:
+    """Address → coordinate service built from a tower directory.
+
+    Parameters
+    ----------
+    directory:
+        Mapping from address string to ``(lat, lon)``.
+    failure_rate:
+        Probability that a lookup transiently fails (raises
+        :class:`GeocodingError`) even though the address is known.  Useful
+        for testing retry logic; defaults to 0.
+    rng:
+        Seed or generator driving transient failures.
+    """
+
+    def __init__(
+        self,
+        directory: dict[str, tuple[float, float]],
+        *,
+        failure_rate: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        check_fraction(failure_rate, "failure_rate")
+        self._directory = dict(directory)
+        self._failure_rate = failure_rate
+        self._rng = ensure_rng(rng)
+        self._cache: dict[str, GeocodeResult] = {}
+        self._lookup_count = 0
+        self._cache_hits = 0
+
+    @classmethod
+    def from_towers(
+        cls,
+        towers: list[Tower],
+        *,
+        failure_rate: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> "SyntheticGeocoder":
+        """Build a geocoder whose directory covers every tower address."""
+        directory = {tower.address: (tower.lat, tower.lon) for tower in towers}
+        return cls(directory, failure_rate=failure_rate, rng=rng)
+
+    @property
+    def lookup_count(self) -> int:
+        """Number of lookups that actually hit the directory (cache misses)."""
+        return self._lookup_count
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of lookups answered from the cache."""
+        return self._cache_hits
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._directory
+
+    def geocode(self, address: str) -> GeocodeResult:
+        """Resolve ``address`` to coordinates.
+
+        Raises
+        ------
+        GeocodingError
+            If the address is unknown, or (with probability ``failure_rate``)
+            transiently.
+        """
+        if address in self._cache:
+            self._cache_hits += 1
+            return self._cache[address]
+        if address not in self._directory:
+            raise GeocodingError(f"unknown address: {address!r}")
+        if self._failure_rate > 0 and self._rng.random() < self._failure_rate:
+            raise GeocodingError(f"transient geocoding failure for {address!r}")
+        self._lookup_count += 1
+        lat, lon = self._directory[address]
+        result = GeocodeResult(address=address, lat=lat, lon=lon)
+        self._cache[address] = result
+        return result
+
+    def geocode_with_retries(self, address: str, *, max_attempts: int = 3) -> GeocodeResult:
+        """Resolve ``address`` retrying transient failures up to ``max_attempts``."""
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+        last_error: GeocodingError | None = None
+        for _ in range(max_attempts):
+            try:
+                return self.geocode(address)
+            except GeocodingError as error:
+                last_error = error
+                if address not in self._directory:
+                    raise
+        assert last_error is not None
+        raise last_error

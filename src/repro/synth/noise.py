@@ -1,0 +1,112 @@
+"""Log corruption: redundant and conflicting records.
+
+The paper's preprocessing first "eliminates the redundant and conflict logs,
+such as the identical traffic logs, introduced by technical issues".  To make
+the cleaning stage meaningful on synthetic data, this module deliberately
+corrupts a clean record stream by
+
+* duplicating a fraction of records exactly (redundant logs), and
+* emitting additional copies of a fraction of records with a perturbed byte
+  count (conflicting logs — same device, tower and interval, different
+  volume).
+
+The corruption is reversible in aggregate: deduplication plus conflict
+resolution should recover a trace whose per-tower volumes match the clean
+trace closely, which is what the ingestion tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.records import TrafficRecord
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class LogCorruptionConfig:
+    """Configuration of the log corruption step."""
+
+    duplicate_fraction: float = 0.05
+    conflict_fraction: float = 0.02
+    conflict_byte_jitter: float = 0.3
+    max_duplicates_per_record: int = 3
+
+    def __post_init__(self) -> None:
+        check_fraction(self.duplicate_fraction, "duplicate_fraction")
+        check_fraction(self.conflict_fraction, "conflict_fraction")
+        check_positive(self.conflict_byte_jitter, "conflict_byte_jitter")
+        if self.max_duplicates_per_record < 1:
+            raise ValueError(
+                "max_duplicates_per_record must be at least 1, got "
+                f"{self.max_duplicates_per_record}"
+            )
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """Summary of the corruption applied to a record stream."""
+
+    num_input_records: int
+    num_duplicates_added: int
+    num_conflicts_added: int
+
+    @property
+    def num_output_records(self) -> int:
+        """Total number of records after corruption."""
+        return self.num_input_records + self.num_duplicates_added + self.num_conflicts_added
+
+
+def corrupt_records(
+    records: list[TrafficRecord],
+    config: LogCorruptionConfig | None = None,
+    *,
+    rng: int | np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> tuple[list[TrafficRecord], CorruptionReport]:
+    """Return a corrupted copy of ``records`` plus a corruption report.
+
+    Parameters
+    ----------
+    records:
+        Clean record stream.
+    config:
+        Corruption configuration.
+    rng:
+        Seed or generator.
+    shuffle:
+        When true (default) the corrupted stream is shuffled so duplicates do
+        not trivially sit next to their originals.
+    """
+    cfg = config or LogCorruptionConfig()
+    generator = ensure_rng(rng)
+
+    corrupted: list[TrafficRecord] = list(records)
+    duplicates_added = 0
+    conflicts_added = 0
+
+    for record in records:
+        roll = generator.random()
+        if roll < cfg.duplicate_fraction:
+            copies = int(generator.integers(1, cfg.max_duplicates_per_record + 1))
+            corrupted.extend([record] * copies)
+            duplicates_added += copies
+        elif roll < cfg.duplicate_fraction + cfg.conflict_fraction:
+            jitter = 1.0 + generator.uniform(-cfg.conflict_byte_jitter, cfg.conflict_byte_jitter)
+            jittered = max(record.bytes_used * jitter, 0.0)
+            corrupted.append(record.with_bytes(jittered))
+            conflicts_added += 1
+
+    if shuffle:
+        order = generator.permutation(len(corrupted))
+        corrupted = [corrupted[i] for i in order]
+
+    report = CorruptionReport(
+        num_input_records=len(records),
+        num_duplicates_added=duplicates_added,
+        num_conflicts_added=conflicts_added,
+    )
+    return corrupted, report

@@ -1,0 +1,77 @@
+"""Shared utilities used across the reproduction library.
+
+The utilities are deliberately small and dependency-free (numpy only) so that
+every higher level subsystem — synthetic trace generation, ingestion,
+vectorization, clustering, spectral analysis — can rely on a single set of
+time, geometry and statistics helpers.
+"""
+
+from repro.utils.geometry import (
+    GridSpec,
+    bounding_box,
+    haversine_km,
+    latlon_to_xy_km,
+    points_within_radius_km,
+)
+from repro.utils.rng import SeedSequenceFactory, derive_rng, ensure_rng
+from repro.utils.stats import (
+    describe,
+    min_max_normalize,
+    running_mean,
+    safe_ratio,
+    zscore_normalize,
+)
+from repro.utils.timeutils import (
+    SECONDS_PER_DAY,
+    SLOT_SECONDS,
+    SLOTS_PER_DAY,
+    SLOTS_PER_WEEK,
+    TimeWindow,
+    day_index,
+    format_slot_of_day,
+    is_weekend_day,
+    slot_index,
+    slot_of_day,
+    slot_to_time_of_day,
+    weekday_weekend_masks,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+    require,
+)
+
+__all__ = [
+    "GridSpec",
+    "SeedSequenceFactory",
+    "SECONDS_PER_DAY",
+    "SLOTS_PER_DAY",
+    "SLOTS_PER_WEEK",
+    "SLOT_SECONDS",
+    "TimeWindow",
+    "bounding_box",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "check_shape",
+    "day_index",
+    "derive_rng",
+    "describe",
+    "ensure_rng",
+    "format_slot_of_day",
+    "haversine_km",
+    "is_weekend_day",
+    "latlon_to_xy_km",
+    "min_max_normalize",
+    "points_within_radius_km",
+    "require",
+    "running_mean",
+    "safe_ratio",
+    "slot_index",
+    "slot_of_day",
+    "slot_to_time_of_day",
+    "weekday_weekend_masks",
+    "zscore_normalize",
+]

@@ -1,0 +1,168 @@
+"""Time slotting helpers.
+
+The paper analyses 28 days of traffic at a 10-minute granularity, i.e.
+``N = 4032`` slots (144 slots per day, 1008 per week).  These helpers convert
+between absolute timestamps (seconds since the start of the observation
+window), slot indices, slot-of-day indices and human readable times, and
+provide weekday/weekend masks used throughout the time-domain analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: Length of one aggregation slot, in seconds (10 minutes).
+SLOT_SECONDS = 600
+
+#: Number of seconds per day.
+SECONDS_PER_DAY = 86_400
+
+#: Number of 10-minute slots per day.
+SLOTS_PER_DAY = SECONDS_PER_DAY // SLOT_SECONDS  # 144
+
+#: Number of 10-minute slots per week.
+SLOTS_PER_WEEK = SLOTS_PER_DAY * 7  # 1008
+
+#: Number of days in the paper's observation window (four full weeks).
+DEFAULT_NUM_DAYS = 28
+
+#: Number of slots in the paper's observation window.
+DEFAULT_NUM_SLOTS = DEFAULT_NUM_DAYS * SLOTS_PER_DAY  # 4032
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """An observation window made of whole days at 10-minute granularity.
+
+    The window always starts on a Monday at 00:00 (day index 0) which matches
+    the paper's convention of analysing four entire weeks.
+
+    Parameters
+    ----------
+    num_days:
+        Number of whole days covered by the window.
+    start_weekday:
+        Weekday of day 0 (0 = Monday … 6 = Sunday).  The paper removes three
+        days from August 2014 so that the series starts on a Monday; the
+        synthetic generator follows the same convention by default.
+    """
+
+    num_days: int = DEFAULT_NUM_DAYS
+    start_weekday: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_days <= 0:
+            raise ValueError(f"num_days must be positive, got {self.num_days}")
+        if not 0 <= self.start_weekday <= 6:
+            raise ValueError(
+                f"start_weekday must be in [0, 6], got {self.start_weekday}"
+            )
+
+    @property
+    def num_slots(self) -> int:
+        """Total number of 10-minute slots in the window."""
+        return self.num_days * SLOTS_PER_DAY
+
+    @property
+    def num_seconds(self) -> int:
+        """Total number of seconds in the window."""
+        return self.num_days * SECONDS_PER_DAY
+
+    @property
+    def num_weeks(self) -> float:
+        """Number of (possibly fractional) weeks in the window."""
+        return self.num_days / 7.0
+
+    def weekday_of_day(self, day: int) -> int:
+        """Return the weekday (0 = Monday … 6 = Sunday) of ``day``."""
+        if not 0 <= day < self.num_days:
+            raise ValueError(f"day {day} outside window of {self.num_days} days")
+        return (self.start_weekday + day) % 7
+
+    def is_weekend(self, day: int) -> bool:
+        """Return ``True`` when ``day`` falls on Saturday or Sunday."""
+        return self.weekday_of_day(day) >= 5
+
+    def weekend_days(self) -> list[int]:
+        """Return the list of day indices falling on a weekend."""
+        return [day for day in range(self.num_days) if self.is_weekend(day)]
+
+    def weekday_days(self) -> list[int]:
+        """Return the list of day indices falling on a weekday."""
+        return [day for day in range(self.num_days) if not self.is_weekend(day)]
+
+    def slots_of_day(self, day: int) -> np.ndarray:
+        """Return the slot indices belonging to ``day``."""
+        if not 0 <= day < self.num_days:
+            raise ValueError(f"day {day} outside window of {self.num_days} days")
+        start = day * SLOTS_PER_DAY
+        return np.arange(start, start + SLOTS_PER_DAY)
+
+    def iter_days(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(day_index, slot_indices)`` pairs for every day."""
+        for day in range(self.num_days):
+            yield day, self.slots_of_day(day)
+
+    def weekday_weekend_slot_masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return boolean masks of length ``num_slots`` for weekdays/weekends."""
+        weekday_mask = np.zeros(self.num_slots, dtype=bool)
+        for day in range(self.num_days):
+            if not self.is_weekend(day):
+                weekday_mask[self.slots_of_day(day)] = True
+        return weekday_mask, ~weekday_mask
+
+
+def slot_index(timestamp_s: float, *, slot_seconds: int = SLOT_SECONDS) -> int:
+    """Return the slot index containing ``timestamp_s`` (seconds from t0).
+
+    Negative timestamps are rejected because traffic records are always
+    expressed relative to the start of the observation window.
+    """
+    if timestamp_s < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp_s}")
+    return int(timestamp_s // slot_seconds)
+
+
+def day_index(timestamp_s: float) -> int:
+    """Return the day index (0-based) containing ``timestamp_s``."""
+    if timestamp_s < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp_s}")
+    return int(timestamp_s // SECONDS_PER_DAY)
+
+
+def slot_of_day(slot: int) -> int:
+    """Return the within-day slot index (0..143) of an absolute slot index."""
+    if slot < 0:
+        raise ValueError(f"slot must be non-negative, got {slot}")
+    return slot % SLOTS_PER_DAY
+
+
+def slot_to_time_of_day(slot: int) -> tuple[int, int]:
+    """Return ``(hour, minute)`` of the start of the within-day slot."""
+    within = slot_of_day(slot)
+    minutes = within * (SLOT_SECONDS // 60)
+    return minutes // 60, minutes % 60
+
+
+def format_slot_of_day(slot: int) -> str:
+    """Format a slot index as ``HH:MM`` (start of slot)."""
+    hour, minute = slot_to_time_of_day(slot)
+    return f"{hour:02d}:{minute:02d}"
+
+
+def is_weekend_day(day: int, *, start_weekday: int = 0) -> bool:
+    """Return ``True`` if day index ``day`` is a Saturday or Sunday."""
+    if day < 0:
+        raise ValueError(f"day must be non-negative, got {day}")
+    return (start_weekday + day) % 7 >= 5
+
+
+def weekday_weekend_masks(
+    num_days: int, *, start_weekday: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return per-slot weekday and weekend boolean masks for ``num_days``."""
+    window = TimeWindow(num_days=num_days, start_weekday=start_weekday)
+    return window.weekday_weekend_slot_masks()

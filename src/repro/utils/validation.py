@@ -1,0 +1,71 @@
+"""Argument validation helpers.
+
+The public API raises informative ``ValueError``/``TypeError`` exceptions as
+early as possible; these helpers keep the checks uniform and terse at call
+sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` after checking it is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` after checking it is non-negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` after checking it lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_shape(array: np.ndarray, shape: Sequence[int | None], name: str) -> np.ndarray:
+    """Return ``array`` after checking its shape.
+
+    ``None`` entries in ``shape`` act as wildcards for that dimension.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim} (shape {arr.shape})"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and arr.shape[axis] != expected:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected {tuple(shape)} "
+                f"(mismatch on axis {axis})"
+            )
+    return arr
+
+
+def check_probability_vector(values: Any, name: str, *, atol: float = 1e-8) -> np.ndarray:
+    """Return ``values`` as an array after checking it is a probability vector."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} must be non-negative, got {arr}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, 1e-6):
+        raise ValueError(f"{name} must sum to 1, got sum {total}")
+    return np.clip(arr, 0.0, None)

@@ -1,0 +1,27 @@
+"""Traffic vectorizer (Section 3.2 of the paper).
+
+Converts raw connection records or per-tower traffic matrices into the
+normalised time-domain traffic vectors fed to the pattern identifier:
+records are aggregated into 10-minute chunks per tower (aggregation phase)
+and each tower's vector is z-score normalised (normalisation phase) so that
+amplitude differences between towers do not interfere with the pattern
+discovery.
+"""
+
+from repro.vectorize.aggregate import aggregate_records, aggregate_records_streaming
+from repro.vectorize.normalize import NormalizationMethod, normalize_matrix, normalize_vector
+from repro.vectorize.slots import slot_edges, slot_span_of_record, split_bytes_over_slots
+from repro.vectorize.vectorizer import TrafficVectorizer, VectorizedTraffic
+
+__all__ = [
+    "NormalizationMethod",
+    "TrafficVectorizer",
+    "VectorizedTraffic",
+    "aggregate_records",
+    "aggregate_records_streaming",
+    "normalize_matrix",
+    "normalize_vector",
+    "slot_edges",
+    "slot_span_of_record",
+    "split_bytes_over_slots",
+]

@@ -1,0 +1,59 @@
+"""Normalisation phase of the traffic vectorizer.
+
+The paper applies z-score ("zero-score") normalisation per tower so that
+amplitude differences do not interfere with the pattern discovery.  Min-max
+and max normalisation are provided as alternatives (max normalisation is
+what Figs. 3–5 of the paper use for visualisation).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.utils.stats import min_max_normalize, zscore_normalize
+
+
+class NormalizationMethod(enum.Enum):
+    """Supported per-tower normalisation methods."""
+
+    ZSCORE = "zscore"
+    MINMAX = "minmax"
+    MAX = "max"
+    NONE = "none"
+
+
+def normalize_vector(values: np.ndarray, method: NormalizationMethod) -> np.ndarray:
+    """Normalise a single traffic vector with the given method."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if method is NormalizationMethod.NONE:
+        return arr.copy()
+    if method is NormalizationMethod.ZSCORE:
+        return zscore_normalize(arr)
+    if method is NormalizationMethod.MINMAX:
+        return min_max_normalize(arr)
+    if method is NormalizationMethod.MAX:
+        peak = arr.max() if arr.size else 0.0
+        if peak <= 0:
+            return np.zeros_like(arr)
+        return arr / peak
+    raise ValueError(f"unsupported normalisation method: {method!r}")
+
+
+def normalize_matrix(matrix: np.ndarray, method: NormalizationMethod) -> np.ndarray:
+    """Normalise every row of a traffic matrix with the given method."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {arr.shape}")
+    if method is NormalizationMethod.NONE:
+        return arr.copy()
+    if method is NormalizationMethod.ZSCORE:
+        return zscore_normalize(arr, axis=1)
+    if method is NormalizationMethod.MINMAX:
+        return min_max_normalize(arr, axis=1)
+    if method is NormalizationMethod.MAX:
+        peaks = arr.max(axis=1, keepdims=True)
+        safe = np.where(peaks > 0, peaks, 1.0)
+        return np.where(peaks > 0, arr / safe, 0.0)
+    raise ValueError(f"unsupported normalisation method: {method!r}")

@@ -1,0 +1,72 @@
+"""Slot arithmetic for the aggregation phase.
+
+A connection record spans an interval ``[start_s, end_s)``.  When a record
+crosses slot boundaries its bytes are split proportionally to the time spent
+in each slot, which keeps the aggregated series smooth and conserves total
+volume exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ingest.records import TrafficRecord
+from repro.utils.timeutils import SLOT_SECONDS
+
+
+def slot_edges(num_slots: int, *, slot_seconds: int = SLOT_SECONDS) -> np.ndarray:
+    """Return the ``num_slots + 1`` slot boundary timestamps in seconds."""
+    if num_slots <= 0:
+        raise ValueError(f"num_slots must be positive, got {num_slots}")
+    return np.arange(num_slots + 1, dtype=float) * slot_seconds
+
+
+def slot_span_of_record(
+    record: TrafficRecord, *, slot_seconds: int = SLOT_SECONDS
+) -> tuple[int, int]:
+    """Return the inclusive ``(first_slot, last_slot)`` touched by a record.
+
+    Instantaneous records (zero duration) occupy the single slot containing
+    their start time.
+    """
+    first = int(record.start_s // slot_seconds)
+    if record.duration_s == 0:
+        return first, first
+    # The end is exclusive: a record ending exactly on a boundary does not
+    # touch the following slot.
+    last = int(np.nextafter(record.end_s, record.start_s) // slot_seconds)
+    return first, max(first, last)
+
+
+def split_bytes_over_slots(
+    record: TrafficRecord,
+    num_slots: int,
+    *,
+    slot_seconds: int = SLOT_SECONDS,
+) -> list[tuple[int, float]]:
+    """Split a record's bytes over the slots it overlaps.
+
+    Returns a list of ``(slot_index, bytes)`` pairs restricted to
+    ``[0, num_slots)``; bytes falling outside the observation window are
+    dropped (and the remaining bytes rescaled accordingly is *not* done — the
+    paper simply truncates the window, so we do the same).
+    """
+    if num_slots <= 0:
+        raise ValueError(f"num_slots must be positive, got {num_slots}")
+    first, last = slot_span_of_record(record, slot_seconds=slot_seconds)
+    if record.duration_s == 0 or first == last:
+        if 0 <= first < num_slots:
+            return [(first, record.bytes_used)]
+        return []
+
+    contributions: list[tuple[int, float]] = []
+    for slot in range(first, last + 1):
+        slot_start = slot * slot_seconds
+        slot_end = slot_start + slot_seconds
+        overlap = min(record.end_s, slot_end) - max(record.start_s, slot_start)
+        if overlap <= 0:
+            continue
+        fraction = overlap / record.duration_s
+        if 0 <= slot < num_slots:
+            contributions.append((slot, record.bytes_used * fraction))
+    return contributions

@@ -1,0 +1,21 @@
+"""Reporting helpers: ASCII plots, table rendering, CSV export and per-figure
+data builders.
+
+The benchmarks regenerate the paper's tables and figures as *data* (rows and
+series); this package renders them for terminal inspection and writes them to
+CSV so they can be plotted externally.  No plotting library is required.
+"""
+
+from repro.viz.ascii import ascii_heatmap, ascii_line_plot, sparkline
+from repro.viz.export import export_rows_csv, export_series_csv
+from repro.viz.tables import format_table, render_matrix
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_line_plot",
+    "export_rows_csv",
+    "export_series_csv",
+    "format_table",
+    "render_matrix",
+    "sparkline",
+]

@@ -1,0 +1,77 @@
+"""Terminal-friendly ASCII visualisations (line plots, sparklines, heatmaps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """Return a one-line sparkline of ``values``."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        return ""
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - low) / (high - low)
+    indices = np.minimum((scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def ascii_line_plot(
+    values: np.ndarray,
+    *,
+    width: int = 80,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Return a multi-line ASCII plot of a series.
+
+    The series is resampled to ``width`` columns (mean over each bucket) and
+    drawn with ``*`` characters on a ``height``-row canvas, with min/max
+    labels on the left.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        return "(empty series)"
+    if width <= 0 or height <= 1:
+        raise ValueError("width must be positive and height at least 2")
+
+    # Resample to the requested width.
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        resampled = np.array([arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)] for a, b in zip(edges[:-1], edges[1:])])
+    else:
+        resampled = arr
+    low, high = float(resampled.min()), float(resampled.max())
+    span = high - low if high > low else 1.0
+    rows = [[" "] * resampled.size for _ in range(height)]
+    for col, value in enumerate(resampled):
+        level = int((value - low) / span * (height - 1))
+        rows[height - 1 - level][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max {high:.3g}")
+    lines.extend("".join(row) for row in rows)
+    lines.append(f"min {low:.3g}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(matrix: np.ndarray, *, title: str | None = None) -> str:
+    """Return an ASCII heatmap of a 2-D array (dark = low, dense = high)."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {arr.shape}")
+    low, high = float(arr.min()), float(arr.max())
+    span = high - low if high > low else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for row in arr:
+        indices = ((row - low) / span * (len(_HEAT_CHARS) - 1)).astype(int)
+        lines.append("".join(_HEAT_CHARS[i] for i in indices))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""CSV export of benchmark outputs (rows and series)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def export_rows_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    *,
+    field_order: Sequence[str] | None = None,
+) -> int:
+    """Write a list of row dictionaries to CSV; returns the number of rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return 0
+    if field_order is None:
+        field_order = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(field_order), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in field_order})
+    return len(rows)
+
+
+def export_series_csv(
+    series: Mapping[str, np.ndarray],
+    path: str | Path,
+    *,
+    index_name: str = "index",
+) -> int:
+    """Write named, equally long series as CSV columns; returns row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(values).ravel() for name, values in series.items()}
+    if not arrays:
+        path.write_text("")
+        return 0
+    lengths = {array.size for array in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all series must have the same length, got {lengths}")
+    (length,) = lengths
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_name, *arrays.keys()])
+        for index in range(length):
+            writer.writerow([index, *[arrays[name][index] for name in arrays]])
+    return length

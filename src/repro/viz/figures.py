@@ -1,0 +1,130 @@
+"""Per-figure data builders for visual figures that are pure data selections.
+
+Most figures of the paper are regenerated directly inside ``benchmarks/``
+from analysis-module outputs; the builders here cover the purely visual
+selections of Section 3.1 — normalised daily profiles of sampled towers
+(Fig. 3), latitude/longitude strips of randomly selected towers (Fig. 4) and
+strips restricted to a single functional region (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.regions import RegionType
+from repro.synth.traffic import TowerTrafficMatrix
+from repro.utils.rng import ensure_rng
+from repro.utils.timeutils import SLOTS_PER_DAY
+from repro.vectorize.normalize import NormalizationMethod, normalize_matrix
+
+
+@dataclass
+class TrafficStrip:
+    """A stack of normalised one-day tower profiles ordered by a coordinate.
+
+    ``profiles[i]`` is the 144-slot normalised profile of the tower with
+    sort key ``sort_values[i]`` (its latitude or longitude).
+    """
+
+    tower_ids: np.ndarray
+    sort_values: np.ndarray
+    profiles: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.tower_ids = np.asarray(self.tower_ids, dtype=int)
+        self.sort_values = np.asarray(self.sort_values, dtype=float)
+        self.profiles = np.asarray(self.profiles, dtype=float)
+        if self.profiles.ndim != 2 or self.profiles.shape[1] != SLOTS_PER_DAY:
+            raise ValueError(
+                f"profiles must have {SLOTS_PER_DAY} columns, got {self.profiles.shape}"
+            )
+        if not (self.tower_ids.shape[0] == self.sort_values.shape[0] == self.profiles.shape[0]):
+            raise ValueError("tower_ids, sort_values and profiles must align")
+
+    @property
+    def num_towers(self) -> int:
+        """Number of towers in the strip."""
+        return int(self.profiles.shape[0])
+
+    def peak_hour_spread(self) -> float:
+        """Return the spread (max - min) of peak hours across the strip.
+
+        The paper observes a spread of roughly 10 hours over randomly
+        selected towers — the motivation for clustering.
+        """
+        peak_slots = np.argmax(self.profiles, axis=1)
+        peak_hours = peak_slots * 24.0 / SLOTS_PER_DAY
+        return float(peak_hours.max() - peak_hours.min())
+
+
+def daily_profiles(
+    traffic: TowerTrafficMatrix,
+    rows: np.ndarray,
+    *,
+    day: int = 3,
+    normalization: NormalizationMethod = NormalizationMethod.MAX,
+) -> np.ndarray:
+    """Return the normalised one-day profile of the selected traffic rows."""
+    row_array = np.asarray(rows, dtype=int)
+    day_slots = traffic.window.slots_of_day(day)
+    day_traffic = traffic.traffic[np.ix_(row_array, day_slots)]
+    return normalize_matrix(day_traffic, normalization)
+
+
+def coordinate_strip(
+    traffic: TowerTrafficMatrix,
+    coordinates: np.ndarray,
+    *,
+    num_towers: int = 40,
+    day: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> TrafficStrip:
+    """Build a Fig. 4-style strip: randomly sampled towers sorted by coordinate.
+
+    ``coordinates`` holds the latitude (or longitude) of each traffic row.
+    """
+    coords = np.asarray(coordinates, dtype=float)
+    if coords.shape[0] != traffic.num_towers:
+        raise ValueError("coordinates must have one entry per traffic row")
+    generator = ensure_rng(rng)
+    count = min(num_towers, traffic.num_towers)
+    chosen = generator.choice(traffic.num_towers, size=count, replace=False)
+    order = chosen[np.argsort(coords[chosen])]
+    profiles = daily_profiles(traffic, order, day=day)
+    return TrafficStrip(
+        tower_ids=traffic.tower_ids[order],
+        sort_values=coords[order],
+        profiles=profiles,
+    )
+
+
+def region_strip(
+    traffic: TowerTrafficMatrix,
+    coordinates: np.ndarray,
+    ground_truth: np.ndarray,
+    region: RegionType,
+    *,
+    num_towers: int = 40,
+    day: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> TrafficStrip:
+    """Build a Fig. 5-style strip restricted to towers of one region type."""
+    coords = np.asarray(coordinates, dtype=float)
+    truth = np.asarray(ground_truth, dtype=int)
+    if coords.shape[0] != traffic.num_towers or truth.shape[0] != traffic.num_towers:
+        raise ValueError("coordinates and ground_truth must align with traffic rows")
+    members = np.nonzero(truth == region.index)[0]
+    if members.size == 0:
+        raise ValueError(f"no towers of region {region}")
+    generator = ensure_rng(rng)
+    count = min(num_towers, members.size)
+    chosen = generator.choice(members, size=count, replace=False)
+    order = chosen[np.argsort(coords[chosen])]
+    profiles = daily_profiles(traffic, order, day=day)
+    return TrafficStrip(
+        tower_ids=traffic.tower_ids[order],
+        sort_values=coords[order],
+        profiles=profiles,
+    )

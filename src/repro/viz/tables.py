@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Floats are formatted with ``float_format``; other values via ``str``.
+    """
+    def render_cell(value: object) -> str:
+        if isinstance(value, (float, np.floating)):
+            return float_format.format(float(value))
+        return str(value)
+
+    rendered_rows = [[render_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {columns} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [format_row(list(headers)), "-+-".join("-" * width for width in widths)]
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[str] | None = None,
+    column_labels: Sequence[str] | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a 2-D array as a labelled text table."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {arr.shape}")
+    rows, cols = arr.shape
+    if row_labels is None:
+        row_labels = [f"row{i}" for i in range(rows)]
+    if column_labels is None:
+        column_labels = [f"col{j}" for j in range(cols)]
+    if len(row_labels) != rows or len(column_labels) != cols:
+        raise ValueError("label lengths must match the matrix shape")
+    headers = [""] + list(column_labels)
+    body = [
+        [row_labels[i]] + [float_format.format(arr[i, j]) for j in range(cols)]
+        for i in range(rows)
+    ]
+    return format_table(headers, body)

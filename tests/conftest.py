@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Expensive fixtures (synthetic scenario, fitted model) are session-scoped so
+they are built exactly once; tests that need to mutate data make their own
+copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
+from repro.utils.timeutils import TimeWindow
+
+
+@pytest.fixture(scope="session")
+def small_window() -> TimeWindow:
+    """A 14-day window (two full weeks) used by most unit tests."""
+    return TimeWindow(num_days=14)
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A small but complete synthetic scenario (profile-level traffic only)."""
+    return generate_scenario(
+        ScenarioConfig(num_towers=90, num_users=400, num_days=14, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def session_scenario() -> Scenario:
+    """A tiny scenario including session-level records and corruption."""
+    return generate_scenario(
+        ScenarioConfig(
+            num_towers=25,
+            num_users=120,
+            num_days=7,
+            seed=23,
+            generate_sessions=True,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_model(scenario: Scenario) -> TrafficPatternModel:
+    """A TrafficPatternModel fitted on the shared scenario (with the city)."""
+    model = TrafficPatternModel(ModelConfig(max_clusters=8))
+    model.fit(scenario.traffic, city=scenario.city)
+    return model
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need random inputs."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,260 @@
+"""Tests for the analysis package (temporal views, ratios, peaks, interrelations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interrelations import (
+    average_daily_profile,
+    evening_peak_lag_hours,
+    pattern_similarity,
+    peak_lag_hours,
+)
+from repro.analysis.peaks import find_daily_peak_valley_times
+from repro.analysis.temporal import (
+    daily_series,
+    hourly_series,
+    peak_hours_of_day,
+    weekly_profile,
+    weekly_series,
+)
+from repro.analysis.timedomain import (
+    cluster_aggregate_series,
+    peak_valley_features,
+    weekday_weekend_ratio,
+)
+from repro.synth.activity import ActivityProfileLibrary
+from repro.synth.regions import RegionType
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK, TimeWindow
+
+
+@pytest.fixture(scope="module")
+def window():
+    return TimeWindow(num_days=14)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ActivityProfileLibrary()
+
+
+def template_series(library, region_type, window):
+    return library.pure(region_type).tile(window.num_days)
+
+
+class TestTemporalViews:
+    def test_hourly_series_slice(self, window):
+        series = np.arange(window.num_slots, dtype=float)
+        day = hourly_series(series, window, 2)
+        assert day.shape == (SLOTS_PER_DAY,)
+        assert day[0] == 2 * SLOTS_PER_DAY
+
+    def test_hourly_series_out_of_range(self, window):
+        with pytest.raises(ValueError):
+            hourly_series(np.zeros(window.num_slots), window, 14)
+
+    def test_daily_series_week(self, window):
+        series = np.ones(window.num_slots)
+        week = daily_series(series, window, start_day=0, num_days=7)
+        assert week.shape == (7 * SLOTS_PER_DAY,)
+
+    def test_daily_series_bounds(self, window):
+        with pytest.raises(ValueError):
+            daily_series(np.zeros(window.num_slots), window, start_day=10, num_days=7)
+
+    def test_weekly_series_totals(self, window):
+        series = np.ones(window.num_slots)
+        daily_totals = weekly_series(series, window)
+        assert daily_totals.shape == (14,)
+        assert np.allclose(daily_totals, SLOTS_PER_DAY)
+
+    def test_weekly_profile_shape_and_average(self, window):
+        series = np.tile(np.arange(SLOTS_PER_WEEK, dtype=float), 2)
+        profile = weekly_profile(series, window)
+        assert profile.shape == (SLOTS_PER_WEEK,)
+        assert np.allclose(profile, np.arange(SLOTS_PER_WEEK))
+
+    def test_series_length_checked(self, window):
+        with pytest.raises(ValueError):
+            weekly_series(np.zeros(10), window)
+
+    def test_peak_hours_of_day(self, window, library):
+        series = template_series(library, RegionType.TRANSPORT, window)
+        peaks = peak_hours_of_day(series, window, day=0, top=4).tolist()
+        # Both rush hours appear among the four busiest hours of a weekday.
+        assert 8 in peaks or 7 in peaks
+        assert any(hour in (17, 18, 19) for hour in peaks)
+
+
+class TestWeekdayWeekendRatio:
+    def test_office_ratio_well_above_one(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        assert weekday_weekend_ratio(series, window) > 1.3
+
+    def test_transport_ratio_above_one(self, window, library):
+        series = template_series(library, RegionType.TRANSPORT, window)
+        assert weekday_weekend_ratio(series, window) > 1.2
+
+    def test_resident_ratio_close_to_one(self, window, library):
+        series = template_series(library, RegionType.RESIDENT, window)
+        assert 0.8 < weekday_weekend_ratio(series, window) < 1.25
+
+    def test_order_matches_paper(self, window, library):
+        ratios = {
+            region_type: weekday_weekend_ratio(
+                template_series(library, region_type, window), window
+            )
+            for region_type in RegionType.pure_types()
+        }
+        assert ratios[RegionType.OFFICE] > ratios[RegionType.RESIDENT]
+        assert ratios[RegionType.TRANSPORT] > ratios[RegionType.RESIDENT]
+
+    def test_requires_both_day_kinds(self, library):
+        window = TimeWindow(num_days=3)  # Monday-Wednesday only
+        series = template_series(library, RegionType.OFFICE, window)
+        with pytest.raises(ValueError):
+            weekday_weekend_ratio(series, window)
+
+
+class TestPeakValleyFeatures:
+    def test_transport_has_largest_ratio(self, window, library):
+        ratios = {}
+        for region_type in RegionType.pure_types():
+            series = template_series(library, region_type, window)
+            features = peak_valley_features(series, window)
+            ratios[region_type] = features.weekday_ratio
+        assert max(ratios, key=ratios.get) is RegionType.TRANSPORT
+        assert ratios[RegionType.TRANSPORT] > 20
+
+    def test_resident_ratio_is_modest(self, window, library):
+        series = template_series(library, RegionType.RESIDENT, window)
+        features = peak_valley_features(series, window)
+        assert features.weekday_ratio < 15
+
+    def test_as_dict_keys(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        entries = peak_valley_features(series, window).as_dict()
+        assert set(entries) == {
+            "weekday_max",
+            "weekday_min",
+            "weekday_ratio",
+            "weekend_max",
+            "weekend_min",
+            "weekend_ratio",
+        }
+
+    def test_office_weekend_max_lower_than_weekday(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        features = peak_valley_features(series, window)
+        assert features.weekend_max < features.weekday_max
+
+    def test_invalid_smoothing(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        with pytest.raises(ValueError):
+            peak_valley_features(series, window, smoothing_slots=0)
+
+
+class TestPeakTiming:
+    def test_valley_in_early_morning_for_all_patterns(self, window, library):
+        for region_type in RegionType.pure_types():
+            series = template_series(library, region_type, window)
+            timing = find_daily_peak_valley_times(series, window)
+            assert 1.0 <= timing.valley_hour <= 6.5
+
+    def test_transport_weekday_double_peak(self, window, library):
+        series = template_series(library, RegionType.TRANSPORT, window)
+        timing = find_daily_peak_valley_times(series, window, weekend=False)
+        assert len(timing.peak_slots) == 2
+        hours = timing.peak_hours
+        assert any(6.5 <= h <= 9.5 for h in hours)
+        assert any(16.5 <= h <= 19.5 for h in hours)
+
+    def test_resident_evening_peak(self, window, library):
+        series = template_series(library, RegionType.RESIDENT, window)
+        timing = find_daily_peak_valley_times(series, window)
+        assert any(19.5 <= h <= 23.0 for h in timing.peak_hours)
+
+    def test_entertainment_weekend_peak_earlier_than_weekday(self, window, library):
+        series = template_series(library, RegionType.ENTERTAINMENT, window)
+        weekday = find_daily_peak_valley_times(series, window, weekend=False)
+        weekend = find_daily_peak_valley_times(series, window, weekend=True)
+        assert min(weekend.peak_hours) < min(weekday.peak_hours)
+
+    def test_formatting(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        timing = find_daily_peak_valley_times(series, window)
+        for text in timing.peak_times + (timing.valley_time,):
+            assert len(text) == 5 and text[2] == ":"
+
+
+class TestInterrelations:
+    def test_comprehensive_similar_to_overall_average(self, window, library):
+        comprehensive = library.for_region_type(RegionType.COMPREHENSIVE).tile(window.num_days)
+        overall = sum(
+            template_series(library, region_type, window)
+            for region_type in RegionType.pure_types()
+        )
+        profile_a = average_daily_profile(comprehensive, window)
+        profile_b = average_daily_profile(overall, window)
+        assert pattern_similarity(profile_a, profile_b) > 0.85
+
+    def test_office_less_similar_to_resident(self, window, library):
+        office = average_daily_profile(template_series(library, RegionType.OFFICE, window), window)
+        resident = average_daily_profile(
+            template_series(library, RegionType.RESIDENT, window), window
+        )
+        comprehensive = average_daily_profile(
+            library.for_region_type(RegionType.COMPREHENSIVE).tile(window.num_days), window
+        )
+        overall_like = average_daily_profile(
+            sum(template_series(library, rt, window) for rt in RegionType.pure_types()), window
+        )
+        assert pattern_similarity(office, resident) < pattern_similarity(
+            comprehensive, overall_like
+        )
+
+    def test_resident_evening_peak_lags_transport(self, window, library):
+        resident = average_daily_profile(
+            template_series(library, RegionType.RESIDENT, window), window, weekend=False
+        )
+        transport = average_daily_profile(
+            template_series(library, RegionType.TRANSPORT, window), window, weekend=False
+        )
+        lag = evening_peak_lag_hours(resident, transport)
+        assert 1.0 <= lag <= 6.0
+
+    def test_office_peak_between_transport_peaks(self, window, library):
+        office = average_daily_profile(
+            template_series(library, RegionType.OFFICE, window), window, weekend=False
+        )
+        office_peak_hour = np.argmax(office) * 24.0 / len(office)
+        assert 8.0 < office_peak_hour < 18.0
+
+    def test_peak_lag_wraps(self):
+        a = np.zeros(144)
+        b = np.zeros(144)
+        a[6] = 1.0  # 01:00
+        b[138] = 1.0  # 23:00
+        assert peak_lag_hours(a, b) == pytest.approx(2.0)
+
+    def test_profile_normalised(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        profile = average_daily_profile(series, window)
+        assert profile.max() == pytest.approx(1.0)
+
+    def test_weekend_selection(self, window, library):
+        series = template_series(library, RegionType.OFFICE, window)
+        weekday_profile = average_daily_profile(series, window, weekend=False, normalize=False)
+        weekend_profile = average_daily_profile(series, window, weekend=True, normalize=False)
+        assert weekday_profile.sum() > weekend_profile.sum()
+
+
+class TestClusterAggregates:
+    def test_aggregate_series_partition_total(self, scenario):
+        labels = scenario.ground_truth_labels()
+        series = cluster_aggregate_series(scenario.traffic.traffic, labels)
+        total = sum(s.sum() for s in series.values())
+        assert total == pytest.approx(scenario.traffic.traffic.sum())
+
+    def test_misaligned_labels_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            cluster_aggregate_series(scenario.traffic.traffic, np.zeros(3, dtype=int))

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fit", "--towers", "50"])
+        assert args.towers == 50
+        assert args.days == 28
+        assert args.clusters is None
+
+
+class TestGenerate:
+    def test_writes_trace_and_stations(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "generate",
+                "--towers", "10",
+                "--users", "40",
+                "--days", "2",
+                "--seed", "3",
+                "--output", str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "trace.csv").exists()
+        assert (tmp_path / "stations.csv").exists()
+        output = capsys.readouterr().out
+        assert "records" in output and "stations" in output
+        with (tmp_path / "stations.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 10
+
+
+class TestFit:
+    def test_fit_on_synthetic_scenario(self, capsys):
+        exit_code = main(
+            [
+                "fit",
+                "--towers", "60",
+                "--users", "100",
+                "--days", "14",
+                "--seed", "11",
+                "--clusters", "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "identified 5 traffic patterns" in output
+        assert "office" in output and "transport" in output
+
+    def test_fit_with_tuner_reports_threshold(self, capsys):
+        exit_code = main(
+            [
+                "fit",
+                "--towers", "60",
+                "--users", "100",
+                "--days", "14",
+                "--seed", "11",
+                "--max-clusters", "8",
+            ]
+        )
+        assert exit_code == 0
+        assert "Davies-Bouldin minimised" in capsys.readouterr().out
+
+    def test_fit_exports_assignments(self, tmp_path, capsys):
+        assignments = tmp_path / "assignments.csv"
+        exit_code = main(
+            [
+                "fit",
+                "--towers", "60",
+                "--users", "100",
+                "--days", "14",
+                "--seed", "11",
+                "--clusters", "5",
+                "--assignments", str(assignments),
+            ]
+        )
+        assert exit_code == 0
+        with assignments.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 60
+        assert {"tower_id", "cluster", "region"} <= set(rows[0])
+
+    def test_fit_on_generated_trace(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    "--towers", "12",
+                    "--users", "40",
+                    "--days", "7",
+                    "--seed", "5",
+                    "--output", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        exit_code = main(
+            [
+                "fit",
+                "--trace", str(tmp_path / "trace.csv"),
+                "--stations", str(tmp_path / "stations.csv"),
+                "--days", "7",
+                "--clusters", "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "identified 3 traffic patterns" in capsys.readouterr().out
+
+    def test_trace_without_stations_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fit", "--trace", str(tmp_path / "missing.csv"), "--days", "7"])
+
+
+class TestDecompose:
+    def test_decompose_default_towers(self, capsys):
+        exit_code = main(
+            [
+                "decompose",
+                "--towers", "60",
+                "--users", "100",
+                "--days", "14",
+                "--seed", "11",
+                "--clusters", "5",
+                "--count", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "residual" in output
+        # Four primary components plus the tower and residual columns.
+        header = output.strip().splitlines()[0]
+        assert header.count("|") == 5
+
+    def test_decompose_specific_tower(self, capsys):
+        exit_code = main(
+            [
+                "decompose",
+                "--towers", "60",
+                "--users", "100",
+                "--days", "14",
+                "--seed", "11",
+                "--clusters", "5",
+                "--tower-ids", "0", "1",
+            ]
+        )
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 + 2  # header + separator + two towers

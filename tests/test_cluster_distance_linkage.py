@@ -1,0 +1,76 @@
+"""Tests for repro.cluster.distance and repro.cluster.linkage."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist, pdist, squareform
+
+from repro.cluster.distance import condensed_index, euclidean_distance_matrix, pairwise_distances
+from repro.cluster.linkage import Linkage, lance_williams_coefficients
+
+
+class TestDistanceMatrix:
+    def test_matches_scipy(self, rng):
+        vectors = rng.normal(size=(30, 12))
+        ours = euclidean_distance_matrix(vectors)
+        scipys = squareform(pdist(vectors))
+        assert np.allclose(ours, scipys, atol=1e-8)
+
+    def test_zero_diagonal_and_symmetry(self, rng):
+        vectors = rng.normal(size=(15, 4))
+        matrix = euclidean_distance_matrix(vectors)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            euclidean_distance_matrix(np.ones(5))
+
+    def test_pairwise_matches_scipy(self, rng):
+        a = rng.normal(size=(10, 6))
+        b = rng.normal(size=(7, 6))
+        assert np.allclose(pairwise_distances(a, b), cdist(a, b), atol=1e-8)
+
+    def test_pairwise_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.ones((3, 2)), np.ones((3, 4)))
+
+    def test_condensed_index_matches_squareform_layout(self):
+        n = 6
+        full = np.arange(n * n, dtype=float).reshape(n, n)
+        full = (full + full.T) / 2
+        np.fill_diagonal(full, 0.0)
+        condensed = squareform(full, checks=False)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                assert condensed[condensed_index(i, j, n)] == full[i, j]
+
+    def test_condensed_index_errors(self):
+        with pytest.raises(ValueError):
+            condensed_index(1, 1, 4)
+        with pytest.raises(ValueError):
+            condensed_index(0, 9, 4)
+
+
+class TestLanceWilliams:
+    def test_average_coefficients(self):
+        alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(Linkage.AVERAGE, 2, 3, 4)
+        assert alpha_i == pytest.approx(0.4)
+        assert alpha_j == pytest.approx(0.6)
+        assert beta == 0.0 and gamma == 0.0
+
+    def test_single_and_complete(self):
+        assert lance_williams_coefficients(Linkage.SINGLE, 1, 1, 1)[3] == -0.5
+        assert lance_williams_coefficients(Linkage.COMPLETE, 1, 1, 1)[3] == 0.5
+
+    def test_ward_coefficients(self):
+        alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(Linkage.WARD, 2, 3, 5)
+        assert alpha_i == pytest.approx(7 / 10)
+        assert alpha_j == pytest.approx(8 / 10)
+        assert beta == pytest.approx(-0.5)
+        assert gamma == 0.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            lance_williams_coefficients(Linkage.AVERAGE, 0, 1, 1)

@@ -1,0 +1,168 @@
+"""Tests for repro.cluster.validity and repro.cluster.tuner."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.tuner import MetricTuner, TuningCurve
+from repro.cluster.validity import (
+    calinski_harabasz_index,
+    centroid_distance_cdf,
+    cluster_centroids,
+    davies_bouldin_index,
+    silhouette_score,
+    within_cluster_distances,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(17)
+    centers = [(0, 0), (10, 0), (0, 10), (10, 10)]
+    data = np.vstack(
+        [rng.normal(loc=c, scale=0.4, size=(20, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(4), 20)
+    return data, labels
+
+
+class TestCentroidsAndScatter:
+    def test_centroids_close_to_true_centers(self, blobs):
+        data, labels = blobs
+        centroids = cluster_centroids(data, labels)
+        assert centroids.shape == (4, 2)
+        assert np.allclose(centroids[0], [0, 0], atol=0.5)
+        assert np.allclose(centroids[3], [10, 10], atol=0.5)
+
+    def test_within_cluster_distances_small_for_tight_blobs(self, blobs):
+        data, labels = blobs
+        scatter = within_cluster_distances(data, labels)
+        assert np.all(scatter < 1.5)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            cluster_centroids(np.ones(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            cluster_centroids(np.ones((5, 2)), np.zeros(4, dtype=int))
+
+
+class TestDaviesBouldin:
+    def test_good_clustering_has_low_dbi(self, blobs):
+        data, labels = blobs
+        assert davies_bouldin_index(data, labels) < 0.3
+
+    def test_random_labels_have_higher_dbi(self, blobs):
+        data, labels = blobs
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(labels)
+        assert davies_bouldin_index(data, shuffled) > davies_bouldin_index(data, labels)
+
+    def test_correct_k_minimises_dbi(self, blobs):
+        data, _ = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        scores = {
+            k: davies_bouldin_index(data, dendrogram.labels_at_num_clusters(k))
+            for k in range(2, 8)
+        }
+        assert min(scores, key=scores.get) == 4
+
+    def test_single_cluster_rejected(self, blobs):
+        data, _ = blobs
+        with pytest.raises(ValueError):
+            davies_bouldin_index(data, np.zeros(data.shape[0], dtype=int))
+
+    def test_matches_manual_computation_on_tiny_example(self):
+        data = np.array([[0.0, 0.0], [0.0, 2.0], [10.0, 0.0], [10.0, 2.0]])
+        labels = np.array([0, 0, 1, 1])
+        # S_0 = S_1 = 1, M_01 = 10 → DBI = (1+1)/10 = 0.2
+        assert davies_bouldin_index(data, labels) == pytest.approx(0.2)
+
+
+class TestSilhouetteAndCH:
+    def test_silhouette_high_for_good_clustering(self, blobs):
+        data, labels = blobs
+        assert silhouette_score(data, labels) > 0.7
+
+    def test_silhouette_lower_for_random(self, blobs):
+        data, labels = blobs
+        rng = np.random.default_rng(1)
+        assert silhouette_score(data, rng.permutation(labels)) < 0.2
+
+    def test_silhouette_precomputed_matches(self, blobs):
+        from repro.cluster.distance import euclidean_distance_matrix
+
+        data, labels = blobs
+        distances = euclidean_distance_matrix(data)
+        assert silhouette_score(data, labels) == pytest.approx(
+            silhouette_score(data, labels, precomputed_distances=distances)
+        )
+
+    def test_calinski_harabasz_prefers_correct_k(self, blobs):
+        data, _ = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        scores = {
+            k: calinski_harabasz_index(data, dendrogram.labels_at_num_clusters(k))
+            for k in range(2, 8)
+        }
+        assert max(scores, key=scores.get) == 4
+
+    def test_ch_requires_more_points_than_clusters(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            calinski_harabasz_index(data, np.array([0, 1]))
+
+    def test_centroid_distance_cdf_monotone(self, blobs):
+        data, labels = blobs
+        curves = centroid_distance_cdf(data, labels, num_points=50)
+        assert set(curves) == {0, 1, 2, 3}
+        for grid, cdf in curves.values():
+            assert grid.shape == cdf.shape == (50,)
+            assert np.all(np.diff(cdf) >= -1e-12)
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestMetricTuner:
+    def test_selects_true_number_of_blobs(self, blobs):
+        data, truth = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        tuner = MetricTuner(max_clusters=8)
+        labels, curve = tuner.select(data, dendrogram)
+        assert isinstance(curve, TuningCurve)
+        assert curve.best()[0] == 4
+        assert np.unique(labels).size == 4
+
+    def test_threshold_reproduces_selected_cut(self, blobs):
+        data, _ = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        labels, curve = MetricTuner(max_clusters=8).select(data, dendrogram)
+        _, _, threshold = curve.best()
+        assert np.unique(dendrogram.labels_at_distance(threshold)).size == 4
+
+    def test_silhouette_index_also_finds_four(self, blobs):
+        data, _ = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        _, curve = MetricTuner(index="silhouette", max_clusters=8).select(data, dendrogram)
+        assert curve.best()[0] == 4
+        assert not curve.lower_is_better
+
+    def test_curve_rows(self, blobs):
+        data, _ = blobs
+        dendrogram = AgglomerativeClustering().fit(data)
+        curve = MetricTuner(max_clusters=6).evaluate(data, dendrogram)
+        rows = curve.as_rows()
+        assert len(rows) == 5
+        assert {"num_clusters", "score", "threshold"} <= set(rows[0])
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MetricTuner(index="nonsense")
+        with pytest.raises(ValueError):
+            MetricTuner(min_clusters=1)
+        with pytest.raises(ValueError):
+            MetricTuner(min_clusters=5, max_clusters=3)
+
+    def test_not_enough_observations(self):
+        data = np.random.default_rng(0).normal(size=(3, 2))
+        dendrogram = AgglomerativeClustering().fit(data)
+        with pytest.raises(ValueError):
+            MetricTuner(min_clusters=5, max_clusters=8).evaluate(data, dendrogram)

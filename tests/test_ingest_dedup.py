@@ -1,0 +1,118 @@
+"""Tests for repro.ingest.dedup."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.dedup import (
+    clean_records,
+    deduplicate_records,
+    first_strategy,
+    max_strategy,
+    median_strategy,
+    resolve_conflicts,
+)
+from repro.ingest.records import TrafficRecord
+
+
+def make_record(user=1, tower=2, start=0.0, end=60.0, volume=100.0, network="LTE"):
+    return TrafficRecord(
+        user_id=user, tower_id=tower, start_s=start, end_s=end, bytes_used=volume, network=network
+    )
+
+
+class TestDeduplicate:
+    def test_removes_exact_duplicates(self):
+        record = make_record()
+        cleaned, removed = deduplicate_records([record, record, record])
+        assert len(cleaned) == 1
+        assert removed == 2
+
+    def test_keeps_distinct_records(self):
+        a = make_record(start=0.0)
+        b = make_record(start=120.0, end=180.0)
+        cleaned, removed = deduplicate_records([a, b])
+        assert len(cleaned) == 2
+        assert removed == 0
+
+    def test_preserves_first_seen_order(self):
+        a = make_record(user=1)
+        b = make_record(user=2)
+        cleaned, _ = deduplicate_records([b, a, b])
+        assert cleaned == [b, a]
+
+    def test_different_bytes_not_exact_duplicates(self):
+        a = make_record(volume=100.0)
+        b = make_record(volume=200.0)
+        cleaned, removed = deduplicate_records([a, b])
+        assert len(cleaned) == 2 and removed == 0
+
+    def test_empty_input(self):
+        cleaned, removed = deduplicate_records([])
+        assert cleaned == [] and removed == 0
+
+
+class TestResolveConflicts:
+    def test_median_resolution(self):
+        records = [make_record(volume=v) for v in (100.0, 300.0, 200.0)]
+        resolved, groups, removed = resolve_conflicts(records)
+        assert groups == 1
+        assert removed == 2
+        assert len(resolved) == 1
+        assert resolved[0].bytes_used == 200.0
+
+    def test_max_strategy(self):
+        records = [make_record(volume=v) for v in (100.0, 300.0)]
+        resolved, _, _ = resolve_conflicts(records, strategy=max_strategy)
+        assert resolved[0].bytes_used == 300.0
+
+    def test_first_strategy(self):
+        records = [make_record(volume=v) for v in (100.0, 300.0)]
+        resolved, _, _ = resolve_conflicts(records, strategy=first_strategy)
+        assert resolved[0].bytes_used == 100.0
+
+    def test_non_conflicting_records_untouched(self):
+        a = make_record(user=1)
+        b = make_record(user=2)
+        resolved, groups, removed = resolve_conflicts([a, b])
+        assert resolved == [a, b]
+        assert groups == 0 and removed == 0
+
+    def test_identical_copies_counted_as_removed_not_conflicts(self):
+        a = make_record()
+        resolved, groups, removed = resolve_conflicts([a, a])
+        assert len(resolved) == 1
+        assert groups == 0
+        assert removed == 1
+
+
+class TestCleanRecords:
+    def test_combined_report(self):
+        base = make_record()
+        conflict = base.with_bytes(999.0)
+        other = make_record(user=7, start=600.0, end=660.0)
+        records = [base, base, conflict, other]
+        cleaned, report = clean_records(records)
+        assert report.num_input_records == 4
+        assert report.num_exact_duplicates_removed == 1
+        assert report.num_conflict_groups == 1
+        assert report.num_conflict_records_removed == 1
+        assert report.num_output_records == 2
+        assert len(cleaned) == 2
+
+    def test_duplicate_fraction(self):
+        base = make_record()
+        _, report = clean_records([base, base, base, base])
+        assert report.duplicate_fraction == pytest.approx(0.75)
+
+    def test_clean_recovers_total_volume_up_to_conflicts(self):
+        rng = np.random.default_rng(0)
+        originals = [
+            make_record(user=i, start=float(i) * 100, end=float(i) * 100 + 50, volume=float(v))
+            for i, v in enumerate(rng.integers(10, 1000, size=200))
+        ]
+        corrupted = originals + originals[:40]  # pure duplicates
+        cleaned, report = clean_records(corrupted)
+        assert report.num_exact_duplicates_removed == 40
+        assert sum(r.bytes_used for r in cleaned) == pytest.approx(
+            sum(r.bytes_used for r in originals)
+        )

@@ -1,0 +1,127 @@
+"""Tests for repro.ingest.loader (CSV/JSONL round trips and error handling)."""
+
+import pytest
+
+from repro.ingest.loader import (
+    TraceFormatError,
+    read_records_csv,
+    read_records_jsonl,
+    read_stations_csv,
+    write_records_csv,
+    write_records_jsonl,
+    write_stations_csv,
+)
+from repro.ingest.records import BaseStationInfo, TrafficRecord
+
+
+@pytest.fixture
+def sample_records():
+    return [
+        TrafficRecord(user_id=1, tower_id=10, start_s=0.0, end_s=30.5, bytes_used=1234.5),
+        TrafficRecord(user_id=2, tower_id=11, start_s=100.0, end_s=160.0, bytes_used=99.0, network="3G"),
+        TrafficRecord(user_id=3, tower_id=10, start_s=200.25, end_s=200.25, bytes_used=0.0),
+    ]
+
+
+@pytest.fixture
+def sample_stations():
+    return [
+        BaseStationInfo(tower_id=10, address="Office District 1, Block 3, Tower Site 10"),
+        BaseStationInfo(tower_id=11, address="Resident District 2, Block 4, Tower Site 11", lat=31.2, lon=121.5),
+    ]
+
+
+class TestRecordsCsv:
+    def test_round_trip(self, tmp_path, sample_records):
+        path = tmp_path / "trace.csv"
+        written = write_records_csv(sample_records, path)
+        assert written == 3
+        loaded = list(read_records_csv(path))
+        assert loaded == sample_records
+
+    def test_float_precision_preserved(self, tmp_path, sample_records):
+        path = tmp_path / "trace.csv"
+        write_records_csv(sample_records, path)
+        loaded = list(read_records_csv(path))
+        assert loaded[0].bytes_used == 1234.5
+        assert loaded[2].start_s == 200.25
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(TraceFormatError):
+            list(read_records_csv(path))
+
+    def test_bad_row_rejected(self, tmp_path, sample_records):
+        path = tmp_path / "trace.csv"
+        write_records_csv(sample_records, path)
+        with path.open("a") as handle:
+            handle.write("1,2,3\n")
+        with pytest.raises(TraceFormatError):
+            list(read_records_csv(path))
+
+    def test_non_numeric_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "user_id,tower_id,start_s,end_s,bytes_used,network\nx,1,0,1,10,LTE\n"
+        )
+        with pytest.raises(TraceFormatError):
+            list(read_records_csv(path))
+
+
+class TestRecordsJsonl:
+    def test_round_trip(self, tmp_path, sample_records):
+        path = tmp_path / "trace.jsonl"
+        written = write_records_jsonl(sample_records, path)
+        assert written == 3
+        loaded = list(read_records_jsonl(path))
+        assert loaded == sample_records
+
+    def test_blank_lines_skipped(self, tmp_path, sample_records):
+        path = tmp_path / "trace.jsonl"
+        write_records_jsonl(sample_records, path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(list(read_records_jsonl(path))) == 3
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError):
+            list(read_records_jsonl(path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"user_id": 1, "tower_id": 2}\n')
+        with pytest.raises(TraceFormatError):
+            list(read_records_jsonl(path))
+
+    def test_default_network_applied(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"user_id": 1, "tower_id": 2, "start_s": 0, "end_s": 5, "bytes_used": 7}\n'
+        )
+        loaded = list(read_records_jsonl(path))
+        assert loaded[0].network == "LTE"
+
+
+class TestStationsCsv:
+    def test_round_trip(self, tmp_path, sample_stations):
+        path = tmp_path / "stations.csv"
+        written = write_stations_csv(sample_stations, path)
+        assert written == 2
+        loaded = read_stations_csv(path)
+        assert loaded == sample_stations
+
+    def test_missing_coordinates_round_trip_as_none(self, tmp_path, sample_stations):
+        path = tmp_path / "stations.csv"
+        write_stations_csv(sample_stations, path)
+        loaded = read_stations_csv(path)
+        assert loaded[0].lat is None and loaded[0].lon is None
+        assert loaded[1].lat == 31.2
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(TraceFormatError):
+            read_stations_csv(path)

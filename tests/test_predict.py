@@ -1,0 +1,255 @@
+"""Tests for the traffic-prediction extension (repro.predict)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import weekly_profile
+from repro.predict.baselines import (
+    MovingAveragePredictor,
+    NaivePredictor,
+    SeasonalNaivePredictor,
+)
+from repro.predict.evaluate import ForecastMetrics, backtest, evaluate_forecast
+from repro.predict.pattern import PatternPredictor
+from repro.predict.spectral import SpectralPredictor
+from repro.synth.activity import ActivityProfileLibrary
+from repro.synth.regions import RegionType
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def office_series():
+    """Three weeks of noiseless office-pattern traffic (mean level 100)."""
+    library = ActivityProfileLibrary()
+    return 100.0 * library.pure(RegionType.OFFICE).tile(21)
+
+
+class TestNaive:
+    def test_constant_forecast(self):
+        predictor = NaivePredictor().fit(np.array([1.0, 2.0, 7.0]))
+        assert np.all(predictor.predict(5) == 7.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            NaivePredictor().predict(3)
+
+    def test_rejects_negative_history(self):
+        with pytest.raises(ValueError):
+            NaivePredictor().fit(np.array([-1.0]))
+
+    def test_rejects_bad_horizon(self):
+        predictor = NaivePredictor().fit(np.ones(3))
+        with pytest.raises(ValueError):
+            predictor.predict(0)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_week(self, office_series):
+        predictor = SeasonalNaivePredictor().fit(office_series)
+        assert predictor.season_slots == SLOTS_PER_WEEK
+        forecast = predictor.predict(SLOTS_PER_WEEK)
+        assert np.allclose(forecast, office_series[-SLOTS_PER_WEEK:])
+
+    def test_perfect_on_purely_periodic_signal(self, office_series):
+        predictor = SeasonalNaivePredictor().fit(office_series[:-SLOTS_PER_WEEK])
+        forecast = predictor.predict(SLOTS_PER_WEEK)
+        metrics = evaluate_forecast(office_series[-SLOTS_PER_WEEK:], forecast)
+        assert metrics.smape < 1e-9
+
+    def test_daily_fallback_for_short_history(self):
+        history = np.abs(np.sin(np.arange(2 * SLOTS_PER_DAY))) + 1.0
+        predictor = SeasonalNaivePredictor().fit(history)
+        assert predictor.season_slots == SLOTS_PER_DAY
+
+    def test_cyclic_extension(self):
+        history = np.arange(SLOTS_PER_DAY, dtype=float)
+        predictor = SeasonalNaivePredictor(season_slots=SLOTS_PER_DAY).fit(history)
+        forecast = predictor.predict(2 * SLOTS_PER_DAY + 5)
+        assert np.array_equal(forecast[:SLOTS_PER_DAY], history)
+        assert np.array_equal(forecast[SLOTS_PER_DAY : 2 * SLOTS_PER_DAY], history)
+        assert forecast.size == 2 * SLOTS_PER_DAY + 5
+
+    def test_history_shorter_than_season_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(season_slots=SLOTS_PER_WEEK).fit(np.ones(SLOTS_PER_DAY))
+
+    def test_invalid_season(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(season_slots=0)
+
+
+class TestMovingAverage:
+    def test_constant_at_window_mean(self):
+        history = np.concatenate([np.zeros(100), np.full(144, 6.0)])
+        predictor = MovingAveragePredictor(window=144).fit(history)
+        assert np.all(predictor.predict(10) == pytest.approx(6.0))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=10).fit(np.ones(5))
+
+
+class TestSpectralPredictor:
+    def test_recovers_pure_periodic_signal(self):
+        n = 3 * SLOTS_PER_WEEK
+        t = np.arange(n)
+        signal = 50 + 10 * np.cos(2 * np.pi * t / SLOTS_PER_DAY + 0.4)
+        predictor = SpectralPredictor().fit(signal[: 2 * SLOTS_PER_WEEK])
+        forecast = predictor.predict(SLOTS_PER_WEEK)
+        metrics = evaluate_forecast(signal[2 * SLOTS_PER_WEEK :], forecast)
+        assert metrics.smape < 0.01
+
+    def test_beats_naive_on_template_traffic(self, office_series):
+        train = office_series[: 2 * SLOTS_PER_WEEK]
+        actual = office_series[2 * SLOTS_PER_WEEK :]
+        spectral = SpectralPredictor().fit(train).predict(SLOTS_PER_WEEK)
+        naive = NaivePredictor().fit(train).predict(SLOTS_PER_WEEK)
+        assert evaluate_forecast(actual, spectral).rmse < evaluate_forecast(actual, naive).rmse
+
+    def test_component_amplitudes_identify_daily_period(self):
+        n = 2 * SLOTS_PER_WEEK
+        t = np.arange(n)
+        signal = 20 + 5 * np.cos(2 * np.pi * t / SLOTS_PER_DAY)
+        predictor = SpectralPredictor().fit(signal)
+        amplitudes = predictor.component_amplitudes
+        assert max(amplitudes, key=amplitudes.get) == SLOTS_PER_DAY
+        assert amplitudes[SLOTS_PER_DAY] == pytest.approx(5.0, rel=0.05)
+
+    def test_non_negative_forecasts(self):
+        rng = np.random.default_rng(0)
+        history = np.clip(rng.normal(1.0, 2.0, size=SLOTS_PER_WEEK), 0, None)
+        forecast = SpectralPredictor().fit(history).predict(SLOTS_PER_DAY)
+        assert np.all(forecast >= 0)
+
+    def test_short_history_drops_week_component(self):
+        history = np.abs(np.sin(np.arange(2 * SLOTS_PER_DAY))) + 1
+        predictor = SpectralPredictor().fit(history)
+        assert SLOTS_PER_WEEK not in predictor.component_amplitudes
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SpectralPredictor(periods_slots=())
+        with pytest.raises(ValueError):
+            SpectralPredictor(periods_slots=(1,))
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(RuntimeError):
+            SpectralPredictor().predict(10)
+
+
+class TestPatternPredictor:
+    def make_predictor(self, scale=1.0, start=0):
+        library = ActivityProfileLibrary()
+        profile = scale * library.pure(RegionType.OFFICE).weekly
+        return PatternPredictor(profile, start_slot_of_week=start)
+
+    def test_recovers_level_and_shape(self, office_series):
+        predictor = self.make_predictor()
+        predictor.fit(office_series[: 2 * SLOTS_PER_WEEK])
+        assert predictor.level == pytest.approx(100.0, rel=0.01)
+        forecast = predictor.predict(SLOTS_PER_WEEK)
+        metrics = evaluate_forecast(office_series[2 * SLOTS_PER_WEEK :], forecast)
+        assert metrics.smape < 0.01
+
+    def test_profile_scale_does_not_matter(self, office_series):
+        small = self.make_predictor(scale=1.0).fit(office_series[:SLOTS_PER_WEEK])
+        large = self.make_predictor(scale=50.0).fit(office_series[:SLOTS_PER_WEEK])
+        assert np.allclose(small.predict(100), large.predict(100))
+
+    def test_start_slot_alignment(self, office_series):
+        # History starting mid-week must still align the shape correctly.
+        offset = 300
+        history = office_series[offset : offset + SLOTS_PER_WEEK]
+        predictor = self.make_predictor(start=offset % SLOTS_PER_WEEK).fit(history)
+        forecast = predictor.predict(200)
+        actual = office_series[offset + SLOTS_PER_WEEK : offset + SLOTS_PER_WEEK + 200]
+        assert evaluate_forecast(actual, forecast).smape < 0.01
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            PatternPredictor(np.ones(10))
+        with pytest.raises(ValueError):
+            PatternPredictor(np.zeros(SLOTS_PER_WEEK))
+        with pytest.raises(ValueError):
+            PatternPredictor(np.ones(SLOTS_PER_WEEK), start_slot_of_week=SLOTS_PER_WEEK)
+
+    def test_unfitted_level_rejected(self):
+        with pytest.raises(RuntimeError):
+            self.make_predictor().level
+
+
+class TestEvaluation:
+    def test_perfect_forecast_has_zero_errors(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        metrics = evaluate_forecast(actual, actual)
+        assert metrics.mae == 0.0 and metrics.rmse == 0.0 and metrics.smape == 0.0
+
+    def test_known_errors(self):
+        metrics = evaluate_forecast(np.array([1.0, 1.0]), np.array([2.0, 0.0]))
+        assert metrics.mae == pytest.approx(1.0)
+        assert metrics.rmse == pytest.approx(1.0)
+
+    def test_smape_bounded(self):
+        metrics = evaluate_forecast(np.array([0.0, 1.0]), np.array([5.0, 0.0]))
+        assert 0.0 <= metrics.smape <= 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_forecast(np.ones(3), np.ones(4))
+
+    def test_as_dict(self):
+        metrics = ForecastMetrics(mae=1.0, rmse=2.0, smape=0.5)
+        assert metrics.as_dict() == {"mae": 1.0, "rmse": 2.0, "smape": 0.5}
+
+    def test_backtest_runs_multiple_folds(self, office_series):
+        metrics = backtest(
+            office_series,
+            lambda: SeasonalNaivePredictor(season_slots=SLOTS_PER_DAY),
+            train_slots=SLOTS_PER_WEEK,
+            horizon=SLOTS_PER_DAY,
+        )
+        assert metrics.smape < 0.35
+
+    def test_backtest_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            backtest(np.ones(100), NaivePredictor, train_slots=90, horizon=20)
+
+    def test_backtest_invalid_step(self, office_series):
+        with pytest.raises(ValueError):
+            backtest(
+                office_series,
+                NaivePredictor,
+                train_slots=SLOTS_PER_WEEK,
+                horizon=SLOTS_PER_DAY,
+                step=0,
+            )
+
+
+class TestOnSyntheticScenario:
+    def test_pattern_predictor_beats_naive_on_real_towers(self, scenario, fitted_model):
+        """The paper's operational claim: knowing a tower's pattern helps
+        predict its traffic."""
+        result = fitted_model.result
+        window = result.window
+        horizon = SLOTS_PER_DAY
+        train_slots = window.num_slots - horizon
+
+        improvements = 0
+        count = 0
+        for cluster in range(result.num_clusters):
+            members = result.cluster_members(cluster)[:3]
+            cluster_profile = weekly_profile(result.cluster_aggregate(cluster), window)
+            for row in members:
+                series = result.vectorized.raw.traffic[row]
+                train, actual = series[:train_slots], series[train_slots:]
+                pattern_forecast = (
+                    PatternPredictor(cluster_profile).fit(train).predict(horizon)
+                )
+                naive_forecast = NaivePredictor().fit(train).predict(horizon)
+                pattern_error = evaluate_forecast(actual, pattern_forecast).rmse
+                naive_error = evaluate_forecast(actual, naive_forecast).rmse
+                improvements += pattern_error < naive_error
+                count += 1
+        assert improvements / count > 0.7

@@ -1,0 +1,150 @@
+"""Tests for repro.synth.activity — the ground-truth traffic shape templates."""
+
+import numpy as np
+import pytest
+
+from repro.synth.activity import ActivityProfileLibrary, ActivityTemplate
+from repro.synth.regions import RegionType
+from repro.utils.timeutils import SLOTS_PER_DAY, SLOTS_PER_WEEK
+
+
+@pytest.fixture(scope="module")
+def library() -> ActivityProfileLibrary:
+    return ActivityProfileLibrary()
+
+
+def hour_slot(hour: float) -> int:
+    return int(hour * SLOTS_PER_DAY / 24.0)
+
+
+class TestTemplateBasics:
+    def test_weekly_length(self, library):
+        for region_type in RegionType.pure_types():
+            assert library.pure(region_type).weekly.shape == (SLOTS_PER_WEEK,)
+
+    def test_strictly_positive(self, library):
+        for region_type in RegionType.pure_types():
+            assert np.all(library.pure(region_type).weekly > 0)
+
+    def test_mean_is_one(self, library):
+        for region_type in RegionType.pure_types():
+            assert library.pure(region_type).weekly.mean() == pytest.approx(1.0)
+
+    def test_pure_rejects_comprehensive(self, library):
+        with pytest.raises(ValueError):
+            library.pure(RegionType.COMPREHENSIVE)
+
+    def test_template_is_cached(self, library):
+        assert library.pure(RegionType.OFFICE) is library.pure(RegionType.OFFICE)
+
+    def test_day_accessor(self, library):
+        template = library.pure(RegionType.RESIDENT)
+        assert template.day(0).shape == (SLOTS_PER_DAY,)
+        with pytest.raises(ValueError):
+            template.day(7)
+
+    def test_tile_length_and_weekday_alignment(self, library):
+        template = library.pure(RegionType.OFFICE)
+        tiled = template.tile(10)
+        assert tiled.shape == (10 * SLOTS_PER_DAY,)
+        assert np.array_equal(tiled[:SLOTS_PER_DAY], template.day(0))
+        assert np.array_equal(
+            tiled[7 * SLOTS_PER_DAY : 8 * SLOTS_PER_DAY], template.day(0)
+        )
+
+    def test_tile_with_start_weekday(self, library):
+        template = library.pure(RegionType.OFFICE)
+        tiled = template.tile(2, start_weekday=5)
+        assert np.array_equal(tiled[:SLOTS_PER_DAY], template.day(5))
+
+    def test_invalid_template_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityTemplate(region_type=None, weekly=np.ones(10))
+        with pytest.raises(ValueError):
+            ActivityTemplate(region_type=None, weekly=np.zeros(SLOTS_PER_WEEK))
+
+
+class TestPaperShapes:
+    """The templates must encode the qualitative shapes of the paper."""
+
+    def test_resident_evening_peak(self, library):
+        monday = library.pure(RegionType.RESIDENT).day(0)
+        peak_hour = np.argmax(monday) * 24.0 / SLOTS_PER_DAY
+        assert 19.0 <= peak_hour <= 23.0
+
+    def test_resident_weekend_similar_to_weekday(self, library):
+        template = library.pure(RegionType.RESIDENT)
+        weekday_total = template.day(1).sum()
+        weekend_total = template.day(6).sum()
+        assert weekday_total / weekend_total == pytest.approx(1.0, abs=0.25)
+
+    def test_transport_rush_hour_peaks(self, library):
+        monday = library.pure(RegionType.TRANSPORT).day(0)
+        morning = monday[hour_slot(7.0) : hour_slot(9.0)].max()
+        evening = monday[hour_slot(17.0) : hour_slot(19.0)].max()
+        midnight = monday[hour_slot(2.0) : hour_slot(4.0)].max()
+        assert morning > 5 * midnight
+        assert evening > 5 * midnight
+
+    def test_transport_weekday_heavier_than_weekend(self, library):
+        template = library.pure(RegionType.TRANSPORT)
+        assert template.day(1).sum() > 1.2 * template.day(6).sum()
+
+    def test_transport_has_largest_peak_valley_ratio(self, library):
+        ratios = {}
+        for region_type in RegionType.pure_types():
+            day = library.pure(region_type).day(2)
+            ratios[region_type] = day.max() / day.min()
+        assert max(ratios, key=ratios.get) is RegionType.TRANSPORT
+
+    def test_office_single_midday_peak_on_weekdays(self, library):
+        monday = library.pure(RegionType.OFFICE).day(0)
+        peak_hour = np.argmax(monday) * 24.0 / SLOTS_PER_DAY
+        assert 9.0 <= peak_hour <= 14.0
+
+    def test_office_weekday_heavier_than_weekend(self, library):
+        template = library.pure(RegionType.OFFICE)
+        assert template.day(2).sum() > 1.3 * template.day(5).sum()
+
+    def test_entertainment_weekday_evening_peak(self, library):
+        monday = library.pure(RegionType.ENTERTAINMENT).day(0)
+        peak_hour = np.argmax(monday) * 24.0 / SLOTS_PER_DAY
+        assert 16.0 <= peak_hour <= 21.0
+
+    def test_entertainment_weekend_midday_peak(self, library):
+        saturday = library.pure(RegionType.ENTERTAINMENT).day(5)
+        peak_hour = np.argmax(saturday) * 24.0 / SLOTS_PER_DAY
+        assert 11.0 <= peak_hour <= 14.0
+
+    def test_all_templates_valley_in_early_morning(self, library):
+        for region_type in RegionType.pure_types():
+            day = library.pure(region_type).day(1)
+            valley_hour = np.argmin(day) * 24.0 / SLOTS_PER_DAY
+            assert 1.0 <= valley_hour <= 6.5
+
+
+class TestMixtures:
+    def test_mixture_is_convex_combination(self, library):
+        weights = (0.5, 0.0, 0.5, 0.0)
+        mixture = library.mixture(weights)
+        manual = 0.5 * library.pure(RegionType.RESIDENT).weekly + 0.5 * library.pure(
+            RegionType.OFFICE
+        ).weekly
+        manual = manual / manual.mean()
+        assert np.allclose(mixture.weekly, manual)
+
+    def test_mixture_weights_validated(self, library):
+        with pytest.raises(ValueError):
+            library.mixture((0.5, 0.5, 0.5, 0.5))
+
+    def test_for_region_type_comprehensive_default(self, library):
+        template = library.for_region_type(RegionType.COMPREHENSIVE)
+        assert template.region_type is RegionType.COMPREHENSIVE
+        assert template.weekly.mean() == pytest.approx(1.0)
+
+    def test_for_region_type_pure_ignores_mixture(self, library):
+        template = library.for_region_type(RegionType.OFFICE, mixture=(1.0, 0.0, 0.0, 0.0))
+        assert np.array_equal(template.weekly, library.pure(RegionType.OFFICE).weekly)
+
+    def test_all_pure_returns_four(self, library):
+        assert set(library.all_pure()) == set(RegionType.pure_types())

@@ -1,0 +1,145 @@
+"""Tests for repro.synth.regions."""
+
+import numpy as np
+import pytest
+
+from repro.synth.regions import (
+    Region,
+    RegionLayoutConfig,
+    RegionType,
+    generate_regions,
+    pure_mixture,
+    region_type_counts,
+)
+
+
+class TestRegionType:
+    def test_five_types(self):
+        assert len(RegionType.ordered()) == 5
+
+    def test_pure_types_exclude_comprehensive(self):
+        assert RegionType.COMPREHENSIVE not in RegionType.pure_types()
+        assert len(RegionType.pure_types()) == 4
+
+    def test_indices_match_paper_order(self):
+        assert RegionType.RESIDENT.index == 0
+        assert RegionType.TRANSPORT.index == 1
+        assert RegionType.OFFICE.index == 2
+        assert RegionType.ENTERTAINMENT.index == 3
+        assert RegionType.COMPREHENSIVE.index == 4
+
+
+class TestPureMixture:
+    def test_one_hot(self):
+        assert pure_mixture(RegionType.OFFICE) == (0.0, 0.0, 1.0, 0.0)
+
+    def test_comprehensive_rejected(self):
+        with pytest.raises(ValueError):
+            pure_mixture(RegionType.COMPREHENSIVE)
+
+
+class TestRegion:
+    def make_region(self, **kwargs) -> Region:
+        defaults = dict(
+            region_id=0,
+            region_type=RegionType.RESIDENT,
+            center_lat=31.2,
+            center_lon=121.5,
+            half_height_deg=0.01,
+            half_width_deg=0.02,
+            mixture=pure_mixture(RegionType.RESIDENT),
+        )
+        defaults.update(kwargs)
+        return Region(**defaults)
+
+    def test_bounds(self):
+        region = self.make_region()
+        assert region.lat_min == pytest.approx(31.19)
+        assert region.lat_max == pytest.approx(31.21)
+        assert region.lon_min == pytest.approx(121.48)
+        assert region.lon_max == pytest.approx(121.52)
+
+    def test_contains(self):
+        region = self.make_region()
+        assert region.contains(31.2, 121.5)
+        assert not region.contains(31.3, 121.5)
+
+    def test_sample_point_inside(self):
+        region = self.make_region()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            lat, lon = region.sample_point(rng)
+            assert region.contains(lat, lon)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_region(half_height_deg=0.0)
+
+    def test_invalid_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_region(mixture=(0.5, 0.5, 0.5, 0.5))
+
+    def test_mixture_as_dict(self):
+        region = self.make_region()
+        mixture = region.mixture_as_dict()
+        assert mixture[RegionType.RESIDENT] == 1.0
+        assert sum(mixture.values()) == pytest.approx(1.0)
+
+
+class TestGenerateRegions:
+    def test_default_count(self):
+        regions = generate_regions(rng=0)
+        assert len(regions) == RegionLayoutConfig().num_regions
+
+    def test_every_type_present(self):
+        regions = generate_regions(rng=1)
+        counts = region_type_counts(regions)
+        assert all(count >= 1 for count in counts.values())
+
+    def test_reproducible(self):
+        a = generate_regions(rng=5)
+        b = generate_regions(rng=5)
+        assert [r.center_lat for r in a] == [r.center_lat for r in b]
+
+    def test_ids_are_sequential(self):
+        regions = generate_regions(rng=2)
+        assert [region.region_id for region in regions] == list(range(len(regions)))
+
+    def test_too_few_regions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_regions(RegionLayoutConfig(num_regions=3), rng=0)
+
+    def test_comprehensive_regions_have_soft_mixture(self):
+        regions = generate_regions(rng=3)
+        comp = [r for r in regions if r.region_type is RegionType.COMPREHENSIVE]
+        assert comp
+        for region in comp:
+            mixture = np.array(region.mixture)
+            assert mixture.sum() == pytest.approx(1.0, abs=1e-6)
+            assert mixture.max() < 0.9  # not degenerate one-hot
+
+    def test_pure_regions_have_one_hot_mixture(self):
+        regions = generate_regions(rng=3)
+        for region in regions:
+            if region.region_type in RegionType.pure_types():
+                assert max(region.mixture) == 1.0
+
+    def test_office_closer_to_center_than_resident_on_average(self):
+        cfg = RegionLayoutConfig()
+        regions = generate_regions(cfg, rng=12)
+
+        def mean_radius(region_type):
+            rs = [
+                np.hypot(r.center_lat - cfg.center_lat, r.center_lon - cfg.center_lon)
+                for r in regions
+                if r.region_type is region_type
+            ]
+            return np.mean(rs)
+
+        assert mean_radius(RegionType.OFFICE) < mean_radius(RegionType.RESIDENT)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RegionLayoutConfig(type_probabilities=(0.5, 0.5, 0.5, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            RegionLayoutConfig(region_half_extent_deg=(0.02, 0.01))

@@ -1,0 +1,89 @@
+"""Tests for repro.synth.towers."""
+
+import numpy as np
+import pytest
+
+from repro.synth.regions import RegionType, generate_regions
+from repro.synth.towers import (
+    TowerPlacementConfig,
+    ground_truth_labels,
+    place_towers,
+    tower_coordinate_arrays,
+    towers_by_type,
+)
+
+
+@pytest.fixture(scope="module")
+def regions():
+    return generate_regions(rng=6)
+
+
+@pytest.fixture(scope="module")
+def towers(regions):
+    return place_towers(regions, TowerPlacementConfig(num_towers=200), rng=6)
+
+
+class TestPlacement:
+    def test_requested_count(self, towers):
+        assert len(towers) == 200
+
+    def test_unique_sequential_ids(self, towers):
+        assert [tower.tower_id for tower in towers] == list(range(200))
+
+    def test_towers_inside_their_region(self, regions, towers):
+        by_id = {region.region_id: region for region in regions}
+        for tower in towers:
+            assert by_id[tower.region_id].contains(tower.lat, tower.lon)
+
+    def test_tower_type_matches_region_type(self, regions, towers):
+        by_id = {region.region_id: region for region in regions}
+        for tower in towers:
+            assert tower.region_type is by_id[tower.region_id].region_type
+
+    def test_every_type_has_a_tower(self, towers):
+        groups = towers_by_type(towers)
+        for region_type in RegionType.ordered():
+            assert len(groups[region_type]) >= 1
+
+    def test_positive_amplitudes(self, towers):
+        assert all(tower.mean_amplitude > 0 for tower in towers)
+
+    def test_addresses_unique(self, towers):
+        addresses = [tower.address for tower in towers]
+        assert len(addresses) == len(set(addresses))
+
+    def test_reproducible(self, regions):
+        a = place_towers(regions, TowerPlacementConfig(num_towers=50), rng=3)
+        b = place_towers(regions, TowerPlacementConfig(num_towers=50), rng=3)
+        assert [t.lat for t in a] == [t.lat for t in b]
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ValueError):
+            place_towers([], rng=0)
+
+    def test_office_proportion_is_largest(self, towers):
+        labels = ground_truth_labels(towers)
+        counts = np.bincount(labels, minlength=5)
+        assert np.argmax(counts) == RegionType.OFFICE.index
+
+    def test_resident_amplitude_larger_than_transport_on_average(self, towers):
+        groups = towers_by_type(towers)
+        resident = np.mean([t.mean_amplitude for t in groups[RegionType.RESIDENT]])
+        transport = np.mean([t.mean_amplitude for t in groups[RegionType.TRANSPORT]])
+        assert resident > transport
+
+
+class TestHelpers:
+    def test_coordinate_arrays(self, towers):
+        lats, lons = tower_coordinate_arrays(towers)
+        assert lats.shape == lons.shape == (len(towers),)
+
+    def test_ground_truth_labels_range(self, towers):
+        labels = ground_truth_labels(towers)
+        assert labels.min() >= 0 and labels.max() <= 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(num_towers=0)
+        with pytest.raises(ValueError):
+            TowerPlacementConfig(amplitude_lognormal_sigma=0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.utils.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.utils.geometry import (
+    GridSpec,
+    bounding_box,
+    haversine_km,
+    latlon_to_xy_km,
+    points_within_radius_km,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(31.2, 121.5, 31.2, 121.5) == pytest.approx(0.0)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        assert haversine_km(0.0, 0.0, 1.0, 0.0) == pytest.approx(111.19, rel=0.01)
+
+    def test_symmetry(self):
+        d1 = haversine_km(31.0, 121.0, 31.3, 121.6)
+        d2 = haversine_km(31.3, 121.6, 31.0, 121.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_vectorised_matches_scalar(self):
+        lats = np.array([31.1, 31.2])
+        lons = np.array([121.4, 121.5])
+        distances = haversine_km(31.0, 121.0, lats, lons)
+        for i in range(2):
+            assert distances[i] == pytest.approx(
+                haversine_km(31.0, 121.0, float(lats[i]), float(lons[i]))
+            )
+
+
+class TestProjection:
+    def test_origin_maps_to_zero(self):
+        x, y = latlon_to_xy_km(31.2, 121.5, origin_lat=31.2, origin_lon=121.5)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(0.0)
+
+    def test_projection_close_to_haversine(self):
+        x, y = latlon_to_xy_km(31.25, 121.55, origin_lat=31.2, origin_lon=121.5)
+        planar = np.hypot(x, y)
+        true = haversine_km(31.2, 121.5, 31.25, 121.55)
+        assert planar == pytest.approx(true, rel=0.01)
+
+
+class TestBoundingBox:
+    def test_values(self):
+        lats = np.array([31.0, 31.5, 31.2])
+        lons = np.array([121.1, 121.9, 121.4])
+        assert bounding_box(lats, lons) == (31.0, 31.5, 121.1, 121.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.array([]), np.array([]))
+
+
+class TestPointsWithinRadius:
+    def test_finds_close_points_only(self):
+        lats = np.array([31.2, 31.2005, 31.5])
+        lons = np.array([121.5, 121.5005, 121.9])
+        close = points_within_radius_km(31.2, 121.5, lats, lons, 0.2)
+        assert set(close.tolist()) == {0, 1}
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            points_within_radius_km(0, 0, np.array([0.0]), np.array([0.0]), -1.0)
+
+
+class TestGridSpec:
+    def make_grid(self) -> GridSpec:
+        return GridSpec(
+            lat_min=31.0, lat_max=31.4, lon_min=121.2, lon_max=121.8, num_rows=4, num_cols=6
+        )
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(31.4, 31.0, 121.2, 121.8, 4, 6)
+        with pytest.raises(ValueError):
+            GridSpec(31.0, 31.4, 121.2, 121.8, 0, 6)
+
+    def test_cell_sizes(self):
+        grid = self.make_grid()
+        assert grid.cell_height_deg == pytest.approx(0.1)
+        assert grid.cell_width_deg == pytest.approx(0.1)
+
+    def test_cell_area_positive(self):
+        assert self.make_grid().cell_area_km2() > 0
+
+    def test_cell_of_corners(self):
+        grid = self.make_grid()
+        assert grid.cell_of(31.0, 121.2) == (0, 0)
+        assert grid.cell_of(31.4, 121.8) == (3, 5)  # clamped into last cell
+
+    def test_cell_of_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            self.make_grid().cell_of(30.0, 121.5)
+
+    def test_cells_of_vectorised_matches_scalar(self):
+        grid = self.make_grid()
+        lats = np.array([31.05, 31.35])
+        lons = np.array([121.25, 121.75])
+        rows, cols = grid.cells_of(lats, lons)
+        for i in range(2):
+            assert (rows[i], cols[i]) == grid.cell_of(float(lats[i]), float(lons[i]))
+
+    def test_accumulate_counts(self):
+        grid = self.make_grid()
+        lats = np.array([31.05, 31.05, 31.35])
+        lons = np.array([121.25, 121.25, 121.75])
+        counts = grid.accumulate(lats, lons)
+        assert counts.sum() == 3
+        assert counts[0, 0] == 2
+
+    def test_accumulate_with_weights(self):
+        grid = self.make_grid()
+        counts = grid.accumulate(np.array([31.05]), np.array([121.25]), np.array([5.0]))
+        assert counts[0, 0] == 5.0
+
+    def test_accumulate_weight_shape_mismatch(self):
+        grid = self.make_grid()
+        with pytest.raises(ValueError):
+            grid.accumulate(np.array([31.05]), np.array([121.25]), np.array([1.0, 2.0]))
+
+    def test_from_points_covers_all(self):
+        lats = np.random.default_rng(0).uniform(31.0, 31.4, size=50)
+        lons = np.random.default_rng(1).uniform(121.2, 121.8, size=50)
+        grid = GridSpec.from_points(lats, lons, num_rows=10, num_cols=10)
+        counts = grid.accumulate(lats, lons)
+        assert counts.sum() == 50

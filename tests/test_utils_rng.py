@@ -1,0 +1,75 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, derive_rng, ensure_rng
+
+
+class TestEnsureRng:
+    def test_accepts_int_seed(self):
+        rng = ensure_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_passes_generator_through(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(np.random.default_rng(0), -1)
+
+    def test_derivation_is_reproducible(self):
+        a = derive_rng(np.random.default_rng(5), 3).random()
+        b = derive_rng(np.random.default_rng(5), 3).random()
+        assert a == b
+
+    def test_different_streams_differ(self):
+        parent = np.random.default_rng(5)
+        child_a = derive_rng(parent, 0)
+        parent2 = np.random.default_rng(5)
+        child_b = derive_rng(parent2, 1)
+        assert child_a.random() != child_b.random()
+
+
+class TestSeedSequenceFactory:
+    def test_negative_root_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)
+
+    def test_same_name_same_stream(self):
+        factory = SeedSequenceFactory(10)
+        assert factory.generator("traffic").random() == factory.generator("traffic").random()
+
+    def test_different_names_differ(self):
+        factory = SeedSequenceFactory(10)
+        assert factory.generator("traffic").random() != factory.generator("layout").random()
+
+    def test_different_roots_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random()
+        b = SeedSequenceFactory(2).generator("x").random()
+        assert a != b
+
+    def test_seed_method_reproducible_and_bounded(self):
+        factory = SeedSequenceFactory(3)
+        seed = factory.seed("city")
+        assert seed == factory.seed("city")
+        assert 0 <= seed < 2**31
+
+    def test_empty_name_rejected(self):
+        factory = SeedSequenceFactory(3)
+        with pytest.raises(ValueError):
+            factory.generator("")
+        with pytest.raises(ValueError):
+            factory.seed("")
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(99).root_seed == 99

@@ -1,0 +1,146 @@
+"""Tests for repro.utils.timeutils."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import (
+    SECONDS_PER_DAY,
+    SLOT_SECONDS,
+    SLOTS_PER_DAY,
+    SLOTS_PER_WEEK,
+    TimeWindow,
+    day_index,
+    format_slot_of_day,
+    is_weekend_day,
+    slot_index,
+    slot_of_day,
+    slot_to_time_of_day,
+    weekday_weekend_masks,
+)
+
+
+class TestConstants:
+    def test_slots_per_day(self):
+        assert SLOTS_PER_DAY == 144
+
+    def test_slots_per_week(self):
+        assert SLOTS_PER_WEEK == 1008
+
+    def test_seconds_per_day_consistent(self):
+        assert SLOTS_PER_DAY * SLOT_SECONDS == SECONDS_PER_DAY
+
+
+class TestTimeWindow:
+    def test_paper_window_has_4032_slots(self):
+        assert TimeWindow(num_days=28).num_slots == 4032
+
+    def test_num_weeks(self):
+        assert TimeWindow(num_days=28).num_weeks == pytest.approx(4.0)
+
+    def test_invalid_num_days(self):
+        with pytest.raises(ValueError):
+            TimeWindow(num_days=0)
+
+    def test_invalid_start_weekday(self):
+        with pytest.raises(ValueError):
+            TimeWindow(num_days=7, start_weekday=7)
+
+    def test_weekday_of_day_starts_monday(self):
+        window = TimeWindow(num_days=7)
+        assert window.weekday_of_day(0) == 0
+        assert window.weekday_of_day(5) == 5
+        assert window.weekday_of_day(6) == 6
+
+    def test_weekday_of_day_with_offset_start(self):
+        window = TimeWindow(num_days=7, start_weekday=5)
+        assert window.weekday_of_day(0) == 5
+        assert window.weekday_of_day(2) == 0
+
+    def test_weekday_of_day_out_of_range(self):
+        with pytest.raises(ValueError):
+            TimeWindow(num_days=7).weekday_of_day(7)
+
+    def test_is_weekend(self):
+        window = TimeWindow(num_days=7)
+        assert not window.is_weekend(0)
+        assert window.is_weekend(5)
+        assert window.is_weekend(6)
+
+    def test_weekend_and_weekday_days_partition(self):
+        window = TimeWindow(num_days=14)
+        assert sorted(window.weekend_days() + window.weekday_days()) == list(range(14))
+
+    def test_two_weeks_have_four_weekend_days(self):
+        assert len(TimeWindow(num_days=14).weekend_days()) == 4
+
+    def test_slots_of_day_shape_and_range(self):
+        window = TimeWindow(num_days=3)
+        slots = window.slots_of_day(1)
+        assert slots.shape == (SLOTS_PER_DAY,)
+        assert slots[0] == SLOTS_PER_DAY
+        assert slots[-1] == 2 * SLOTS_PER_DAY - 1
+
+    def test_slots_of_day_out_of_range(self):
+        with pytest.raises(ValueError):
+            TimeWindow(num_days=3).slots_of_day(3)
+
+    def test_iter_days_covers_all_slots(self):
+        window = TimeWindow(num_days=5)
+        seen = np.concatenate([slots for _, slots in window.iter_days()])
+        assert np.array_equal(seen, np.arange(window.num_slots))
+
+    def test_weekday_weekend_slot_masks_are_complementary(self):
+        window = TimeWindow(num_days=14)
+        weekday_mask, weekend_mask = window.weekday_weekend_slot_masks()
+        assert np.all(weekday_mask ^ weekend_mask)
+        assert weekend_mask.sum() == 4 * SLOTS_PER_DAY
+
+
+class TestSlotHelpers:
+    def test_slot_index_at_boundaries(self):
+        assert slot_index(0) == 0
+        assert slot_index(599.9) == 0
+        assert slot_index(600) == 1
+
+    def test_slot_index_negative_rejected(self):
+        with pytest.raises(ValueError):
+            slot_index(-1)
+
+    def test_day_index(self):
+        assert day_index(0) == 0
+        assert day_index(SECONDS_PER_DAY - 1) == 0
+        assert day_index(SECONDS_PER_DAY) == 1
+
+    def test_day_index_negative_rejected(self):
+        with pytest.raises(ValueError):
+            day_index(-0.1)
+
+    def test_slot_of_day_wraps(self):
+        assert slot_of_day(0) == 0
+        assert slot_of_day(SLOTS_PER_DAY) == 0
+        assert slot_of_day(SLOTS_PER_DAY + 3) == 3
+
+    def test_slot_of_day_negative_rejected(self):
+        with pytest.raises(ValueError):
+            slot_of_day(-1)
+
+    def test_slot_to_time_of_day(self):
+        assert slot_to_time_of_day(0) == (0, 0)
+        assert slot_to_time_of_day(6) == (1, 0)
+        assert slot_to_time_of_day(131) == (21, 50)
+
+    def test_format_slot_of_day(self):
+        assert format_slot_of_day(0) == "00:00"
+        assert format_slot_of_day(129) == "21:30"
+        assert format_slot_of_day(48) == "08:00"
+
+    def test_is_weekend_day(self):
+        assert not is_weekend_day(0)
+        assert is_weekend_day(5)
+        assert is_weekend_day(12)
+        assert not is_weekend_day(7)
+
+    def test_weekday_weekend_masks_function(self):
+        weekday_mask, weekend_mask = weekday_weekend_masks(7)
+        assert weekday_mask.sum() == 5 * SLOTS_PER_DAY
+        assert weekend_mask.sum() == 2 * SLOTS_PER_DAY

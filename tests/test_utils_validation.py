@@ -1,0 +1,80 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+    check_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "x")
+        with pytest.raises(ValueError):
+            check_fraction(-0.01, "x")
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        arr = np.zeros((2, 3))
+        assert check_shape(arr, (2, 3), "arr") is not None
+
+    def test_wildcard(self):
+        arr = np.zeros((5, 3))
+        check_shape(arr, (None, 3), "arr")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros(3), (1, 3), "arr")
+
+    def test_wrong_dim(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((2, 4)), (2, 3), "arr")
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_not_summing_to_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.2, 0.2], "p")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([], "p")

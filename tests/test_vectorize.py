@@ -1,0 +1,200 @@
+"""Tests for the traffic vectorizer (slots, aggregation, normalisation, API)."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.records import TrafficRecord
+from repro.synth.traffic import TowerTrafficMatrix
+from repro.utils.timeutils import SLOT_SECONDS, TimeWindow
+from repro.vectorize.aggregate import aggregate_records, aggregate_records_streaming
+from repro.vectorize.normalize import NormalizationMethod, normalize_matrix, normalize_vector
+from repro.vectorize.slots import slot_edges, slot_span_of_record, split_bytes_over_slots
+from repro.vectorize.vectorizer import TrafficVectorizer, VectorizedTraffic
+
+
+def make_record(start, end, volume=100.0, user=1, tower=0):
+    return TrafficRecord(
+        user_id=user, tower_id=tower, start_s=start, end_s=end, bytes_used=volume
+    )
+
+
+class TestSlots:
+    def test_slot_edges(self):
+        edges = slot_edges(3)
+        assert np.array_equal(edges, np.array([0.0, 600.0, 1200.0, 1800.0]))
+
+    def test_slot_edges_invalid(self):
+        with pytest.raises(ValueError):
+            slot_edges(0)
+
+    def test_span_single_slot(self):
+        record = make_record(10.0, 500.0)
+        assert slot_span_of_record(record) == (0, 0)
+
+    def test_span_crossing_boundary(self):
+        record = make_record(500.0, 700.0)
+        assert slot_span_of_record(record) == (0, 1)
+
+    def test_span_ending_exactly_on_boundary(self):
+        record = make_record(0.0, 600.0)
+        assert slot_span_of_record(record) == (0, 0)
+
+    def test_span_instantaneous(self):
+        record = make_record(650.0, 650.0)
+        assert slot_span_of_record(record) == (1, 1)
+
+    def test_split_conserves_volume(self):
+        record = make_record(300.0, 1500.0, volume=120.0)
+        contributions = split_bytes_over_slots(record, 10)
+        assert sum(v for _, v in contributions) == pytest.approx(120.0)
+
+    def test_split_proportional_to_overlap(self):
+        record = make_record(300.0, 900.0, volume=100.0)  # half in slot 0, half in slot 1
+        contributions = dict(split_bytes_over_slots(record, 10))
+        assert contributions[0] == pytest.approx(50.0)
+        assert contributions[1] == pytest.approx(50.0)
+
+    def test_split_outside_window_dropped(self):
+        record = make_record(500.0, 1300.0, volume=90.0)
+        contributions = dict(split_bytes_over_slots(record, 1))
+        assert set(contributions) == {0}
+        assert contributions[0] == pytest.approx(90.0 * 100.0 / 800.0)
+
+    def test_split_invalid_num_slots(self):
+        with pytest.raises(ValueError):
+            split_bytes_over_slots(make_record(0.0, 1.0), 0)
+
+
+class TestAggregate:
+    def test_basic_aggregation(self):
+        window = TimeWindow(num_days=1)
+        records = [
+            make_record(0.0, 300.0, 60.0, tower=0),
+            make_record(100.0, 200.0, 40.0, tower=0),
+            make_record(700.0, 800.0, 10.0, tower=1),
+        ]
+        matrix = aggregate_records(records, window)
+        assert matrix.num_towers == 2
+        assert matrix.traffic[0, 0] == pytest.approx(100.0)
+        assert matrix.traffic[1, 1] == pytest.approx(10.0)
+
+    def test_total_volume_conserved(self):
+        window = TimeWindow(num_days=1)
+        rng = np.random.default_rng(3)
+        records = [
+            make_record(float(s), float(s) + float(d), float(v), tower=int(t))
+            for s, d, v, t in zip(
+                rng.uniform(0, 80_000, 300),
+                rng.uniform(1, 3000, 300),
+                rng.uniform(1, 100, 300),
+                rng.integers(0, 5, 300),
+            )
+        ]
+        # Clamp ends inside the window so no volume is dropped.
+        records = [
+            r if r.end_s <= window.num_seconds else make_record(r.start_s, window.num_seconds, r.bytes_used, tower=r.tower_id)
+            for r in records
+        ]
+        matrix = aggregate_records(records, window)
+        assert matrix.traffic.sum() == pytest.approx(sum(r.bytes_used for r in records))
+
+    def test_explicit_tower_ids_and_zero_rows(self):
+        window = TimeWindow(num_days=1)
+        records = [make_record(0.0, 10.0, 5.0, tower=3)]
+        matrix = aggregate_records(records, window, tower_ids=[3, 7])
+        assert matrix.num_towers == 2
+        assert matrix.traffic[1].sum() == 0.0
+
+    def test_unlisted_towers_ignored(self):
+        window = TimeWindow(num_days=1)
+        records = [make_record(0.0, 10.0, 5.0, tower=3), make_record(0.0, 10.0, 5.0, tower=9)]
+        matrix = aggregate_records(records, window, tower_ids=[3])
+        assert matrix.num_towers == 1
+        assert matrix.traffic.sum() == pytest.approx(5.0)
+
+    def test_no_split_attributes_to_start_slot(self):
+        window = TimeWindow(num_days=1)
+        records = [make_record(500.0, 1500.0, 100.0)]
+        matrix = aggregate_records(records, window, split_across_slots=False)
+        assert matrix.traffic[0, 0] == pytest.approx(100.0)
+        assert matrix.traffic[0, 1] == 0.0
+
+    def test_streaming_matches_in_memory(self):
+        window = TimeWindow(num_days=1)
+        rng = np.random.default_rng(5)
+        records = [
+            make_record(float(s), float(s) + 60.0, float(v), tower=int(t))
+            for s, v, t in zip(
+                rng.uniform(0, 80_000, 500), rng.uniform(1, 100, 500), rng.integers(0, 4, 500)
+            )
+        ]
+        in_memory = aggregate_records(records, window, tower_ids=[0, 1, 2, 3])
+        streaming = aggregate_records_streaming(iter(records), window, [0, 1, 2, 3], chunk_size=64)
+        assert np.allclose(in_memory.traffic, streaming.traffic)
+
+    def test_streaming_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            aggregate_records_streaming([], TimeWindow(num_days=1), [0], chunk_size=0)
+
+
+class TestNormalize:
+    def test_zscore_rows(self):
+        matrix = np.array([[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]])
+        out = normalize_matrix(matrix, NormalizationMethod.ZSCORE)
+        assert np.mean(out[0]) == pytest.approx(0.0, abs=1e-12)
+        assert np.all(out[1] == 0.0)
+
+    def test_max_rows(self):
+        matrix = np.array([[1.0, 2.0, 4.0], [0.0, 0.0, 0.0]])
+        out = normalize_matrix(matrix, NormalizationMethod.MAX)
+        assert out[0, 2] == 1.0
+        assert np.all(out[1] == 0.0)
+
+    def test_minmax_vector(self):
+        out = normalize_vector(np.array([2.0, 3.0, 4.0]), NormalizationMethod.MINMAX)
+        assert out[0] == 0.0 and out[-1] == 1.0
+
+    def test_none_is_identity(self):
+        values = np.array([1.0, 5.0])
+        assert np.array_equal(normalize_vector(values, NormalizationMethod.NONE), values)
+
+    def test_matrix_requires_2d(self):
+        with pytest.raises(ValueError):
+            normalize_matrix(np.ones(5), NormalizationMethod.ZSCORE)
+
+
+class TestVectorizer:
+    def test_from_matrix_keeps_raw(self, scenario):
+        vectorizer = TrafficVectorizer()
+        vectorized = vectorizer.from_matrix(scenario.traffic)
+        assert isinstance(vectorized, VectorizedTraffic)
+        assert vectorized.raw is scenario.traffic
+        assert vectorized.vectors.shape == scenario.traffic.traffic.shape
+        # z-scored rows have ~zero mean
+        assert np.allclose(vectorized.vectors.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_vector_lookup(self, scenario):
+        vectorized = TrafficVectorizer().from_matrix(scenario.traffic)
+        tower_id = int(scenario.traffic.tower_ids[7])
+        assert np.array_equal(vectorized.vector(tower_id), vectorized.vectors[7])
+        with pytest.raises(KeyError):
+            vectorized.vector(123456)
+
+    def test_from_records_matches_manual_aggregation(self):
+        window = TimeWindow(num_days=1)
+        records = [
+            make_record(0.0, 300.0, 60.0, tower=0),
+            make_record(700.0, 900.0, 30.0, tower=1),
+        ]
+        vectorized = TrafficVectorizer(method=NormalizationMethod.NONE).from_records(
+            records, window
+        )
+        manual = aggregate_records(records, window)
+        assert np.allclose(vectorized.vectors, manual.traffic)
+
+    def test_paper_dimensions(self):
+        # 28 days at 10-minute granularity = 4032 dimensions (Section 3.2).
+        window = TimeWindow(num_days=28)
+        records = [make_record(0.0, 100.0, 5.0, tower=0)]
+        vectorized = TrafficVectorizer().from_records(records, window)
+        assert vectorized.num_slots == 4032

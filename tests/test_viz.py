@@ -1,0 +1,141 @@
+"""Tests for the viz package (ASCII plots, tables, CSV export, figure builders)."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.synth.regions import RegionType
+from repro.viz.ascii import ascii_heatmap, ascii_line_plot, sparkline
+from repro.viz.export import export_rows_csv, export_series_csv
+from repro.viz.figures import coordinate_strip, daily_profiles, region_strip
+from repro.viz.tables import format_table, render_matrix
+
+
+class TestAscii:
+    def test_sparkline_length(self):
+        assert len(sparkline(np.arange(10))) == 10
+
+    def test_sparkline_constant(self):
+        assert sparkline(np.ones(5)) == "▁▁▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_line_plot_contains_extremes(self):
+        text = ascii_line_plot(np.sin(np.linspace(0, 6, 200)), width=40, height=8, title="wave")
+        assert "wave" in text
+        assert "max" in text and "min" in text
+        assert "*" in text
+
+    def test_line_plot_empty(self):
+        assert ascii_line_plot(np.array([])) == "(empty series)"
+
+    def test_line_plot_invalid_size(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot(np.ones(5), width=0)
+
+    def test_heatmap_row_count(self):
+        text = ascii_heatmap(np.random.default_rng(0).random((4, 20)))
+        assert len(text.splitlines()) == 4
+
+    def test_heatmap_requires_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(5))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1.0], ["b", 123.456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "123.5" in text  # default 4 significant digits
+
+    def test_format_table_wrong_row_length(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_render_matrix_with_labels(self):
+        text = render_matrix(
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            row_labels=["r0", "r1"],
+            column_labels=["c0", "c1"],
+        )
+        assert "r0" in text and "c1" in text and "4.0000" in text
+
+    def test_render_matrix_label_mismatch(self):
+        with pytest.raises(ValueError):
+            render_matrix(np.ones((2, 2)), row_labels=["only one"])
+
+
+class TestExport:
+    def test_export_rows_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "rows.csv"
+        assert export_rows_csv(rows, path) == 2
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0]["a"] == "1" and loaded[1]["b"] == "y"
+
+    def test_export_rows_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert export_rows_csv([], path) == 0
+        assert path.read_text() == ""
+
+    def test_export_series(self, tmp_path):
+        path = tmp_path / "series.csv"
+        count = export_series_csv({"x": np.arange(3), "y": np.arange(3) * 2}, path)
+        assert count == 3
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "index,x,y"
+        assert lines[-1].startswith("2,")
+
+    def test_export_series_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv({"x": np.arange(3), "y": np.arange(4)}, tmp_path / "bad.csv")
+
+
+class TestFigureBuilders:
+    def test_daily_profiles_normalised(self, scenario):
+        profiles = daily_profiles(scenario.traffic, np.arange(5), day=2)
+        assert profiles.shape == (5, 144)
+        assert np.allclose(profiles.max(axis=1), 1.0)
+
+    def test_coordinate_strip(self, scenario):
+        lats, _ = scenario.city.tower_coordinates()
+        strip = coordinate_strip(scenario.traffic, lats, num_towers=20, rng=1)
+        assert strip.num_towers == 20
+        assert np.all(np.diff(strip.sort_values) >= 0)
+        assert strip.peak_hour_spread() >= 0
+
+    def test_coordinate_strip_mismatch(self, scenario):
+        with pytest.raises(ValueError):
+            coordinate_strip(scenario.traffic, np.zeros(3), rng=0)
+
+    def test_region_strip_only_contains_requested_region(self, scenario):
+        lats, _ = scenario.city.tower_coordinates()
+        truth = scenario.ground_truth_labels()
+        strip = region_strip(
+            scenario.traffic, lats, truth, RegionType.OFFICE, num_towers=10, rng=2
+        )
+        office_ids = set(
+            scenario.traffic.tower_ids[truth == RegionType.OFFICE.index].tolist()
+        )
+        assert set(strip.tower_ids.tolist()) <= office_ids
+
+    def test_region_strip_peak_spread_smaller_than_random(self, scenario):
+        # Fig. 4 vs Fig. 5: towers of a single region are far more regular.
+        lats, _ = scenario.city.tower_coordinates()
+        truth = scenario.ground_truth_labels()
+        random_strip = coordinate_strip(scenario.traffic, lats, num_towers=30, rng=3)
+        office_strip = region_strip(
+            scenario.traffic, lats, truth, RegionType.OFFICE, num_towers=30, rng=3
+        )
+        assert office_strip.peak_hour_spread() <= random_strip.peak_hour_spread()
+
+    def test_region_strip_missing_region(self, scenario):
+        lats, _ = scenario.city.tower_coordinates()
+        truth = np.zeros(scenario.traffic.num_towers, dtype=int)
+        with pytest.raises(ValueError):
+            region_strip(scenario.traffic, lats, truth, RegionType.TRANSPORT, rng=0)
