@@ -1,0 +1,86 @@
+"""Backend benchmark — generic full-matrix loop vs O(n²) nearest-neighbor chain.
+
+Times the raw merge-history computation (distance matrix excluded, identical
+condensed input for both backends) across growing tower counts and emits a
+JSON speedup summary.  The nn-chain backend must be at least 5× faster than
+the generic reference at n = 1600 — the scale gap that matters for the
+paper's 9,600-tower city.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster_backends.py -s
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.cluster.backends import GenericBackend, NNChainBackend
+from repro.cluster.distance import condensed_from_square, euclidean_distance_matrix
+from repro.cluster.linkage import Linkage
+from repro.viz.tables import format_table
+
+SIZES = (100, 400, 1600)
+VECTOR_DIM = 64
+MIN_SPEEDUP_AT_LARGEST = 5.0
+
+
+def time_backend(backend, condensed, num_observations):
+    start = time.perf_counter()
+    merges = backend.compute_merges(condensed, num_observations, Linkage.AVERAGE)
+    elapsed = time.perf_counter() - start
+    assert merges.shape == (num_observations - 1, 4)
+    return elapsed
+
+
+def run_sweep():
+    rng = np.random.default_rng(2015)
+    results = {}
+    for n in SIZES:
+        vectors = rng.normal(size=(n, VECTOR_DIM))
+        condensed = condensed_from_square(euclidean_distance_matrix(vectors))
+        generic_seconds = time_backend(GenericBackend(), condensed, n)
+        nn_seconds = time_backend(NNChainBackend(), condensed, n)
+        results[n] = {
+            "generic_seconds": generic_seconds,
+            "nn_chain_seconds": nn_seconds,
+            "speedup": generic_seconds / nn_seconds,
+        }
+    return results
+
+
+def test_cluster_backend_speedup(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_section("Clustering backends — generic vs nearest-neighbor chain")
+    print(
+        format_table(
+            ["towers", "generic s", "nn_chain s", "speedup"],
+            [
+                [
+                    n,
+                    round(row["generic_seconds"], 3),
+                    round(row["nn_chain_seconds"], 3),
+                    f"{row['speedup']:.1f}x",
+                ]
+                for n, row in results.items()
+            ],
+        )
+    )
+
+    summary = {
+        "linkage": Linkage.AVERAGE.value,
+        "vector_dim": VECTOR_DIM,
+        "results": {str(n): row for n, row in results.items()},
+        "speedup_at_largest": results[SIZES[-1]]["speedup"],
+    }
+    print("\nJSON summary:")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    speedup = results[SIZES[-1]]["speedup"]
+    assert speedup >= MIN_SPEEDUP_AT_LARGEST, (
+        f"nn_chain is only {speedup:.1f}x faster than generic at n={SIZES[-1]}; "
+        f"expected >= {MIN_SPEEDUP_AT_LARGEST}x"
+    )

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (``SETUPTOOLS_ENABLE_FEATURES=legacy-editable``)
+and tooling that predates PEP 660; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -25,6 +25,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.cluster.backends import BACKEND_CHOICES
 from repro.core.config import ModelConfig
 from repro.core.model import TrafficPatternModel
 from repro.ingest.loader import (
@@ -86,6 +87,7 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
     config = ModelConfig(
         max_clusters=args.max_clusters,
         num_clusters=args.clusters,
+        cluster_backend=args.cluster_backend,
     )
     model = TrafficPatternModel(config)
 
@@ -127,6 +129,14 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             f"\nmetric tuner: Davies-Bouldin minimised at k={best_k} "
             f"(score {best_score:.3f}, distance threshold {threshold:.2f})"
         )
+
+    if args.timings:
+        timings = result.extras.get("stage_timings", {})
+        skipped = set(result.extras.get("stages_skipped", ()))
+        print("\npipeline stage timings:")
+        for stage_name, seconds in timings.items():
+            detail = "skipped" if stage_name in skipped else f"{seconds * 1000.0:8.1f} ms"
+            print(f"  {stage_name:<10} {detail}")
 
     if args.assignments:
         assignment_rows = []
@@ -201,6 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--stations", help="stations CSV produced by 'generate'")
     fit.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     fit.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
+    fit.add_argument(
+        "--cluster-backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="clustering backend (auto picks the fastest for the linkage)",
+    )
+    fit.add_argument(
+        "--timings", action="store_true", help="print per-stage wall-clock timings"
+    )
     fit.add_argument("--assignments", help="write per-tower assignments to this CSV")
     fit.set_defaults(handler=_cmd_fit)
 
@@ -212,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--stations", help="stations CSV produced by 'generate'")
     decompose.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     decompose.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
+    decompose.add_argument(
+        "--cluster-backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="clustering backend (auto picks the fastest for the linkage)",
+    )
     decompose.add_argument(
         "--tower-ids", type=int, nargs="*", default=None, help="tower ids to decompose"
     )

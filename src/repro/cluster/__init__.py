@@ -8,10 +8,22 @@ from scratch on numpy/scipy primitives: distance matrices, Lance–Williams
 linkage updates, dendrogram cutting, and three cluster-validity indices.
 """
 
+from repro.cluster.backends import (
+    BACKEND_CHOICES,
+    BACKEND_NAMES,
+    ClusteringBackend,
+    GenericBackend,
+    NNChainBackend,
+    get_backend,
+    resolve_backend,
+)
 from repro.cluster.distance import (
+    condensed_from_square,
     condensed_index,
+    condensed_indices,
     euclidean_distance_matrix,
     pairwise_distances,
+    square_from_condensed,
 )
 from repro.cluster.hierarchical import (
     AgglomerativeClustering,
@@ -32,19 +44,29 @@ from repro.cluster.validity import (
 
 __all__ = [
     "AgglomerativeClustering",
+    "BACKEND_CHOICES",
+    "BACKEND_NAMES",
+    "ClusteringBackend",
     "ClusteringResult",
     "Dendrogram",
+    "GenericBackend",
     "Linkage",
     "MetricTuner",
+    "NNChainBackend",
     "TuningCurve",
     "calinski_harabasz_index",
     "cluster_centroids",
+    "condensed_from_square",
     "condensed_index",
+    "condensed_indices",
     "cut_by_distance",
     "cut_by_num_clusters",
     "davies_bouldin_index",
     "euclidean_distance_matrix",
+    "get_backend",
     "pairwise_distances",
+    "resolve_backend",
     "silhouette_score",
+    "square_from_condensed",
     "within_cluster_distances",
 ]

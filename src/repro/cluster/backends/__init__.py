@@ -1,0 +1,87 @@
+"""Clustering backends: interchangeable merge-history engines.
+
+The pattern identifier's agglomeration is a strategy behind a small
+interface (:class:`~repro.cluster.backends.base.ClusteringBackend`):
+
+* ``generic`` — the full-matrix Lance–Williams reference implementation;
+  works with every linkage, O(n²) memory and per-merge argmin scans.
+* ``nn_chain`` — nearest-neighbor chain on a condensed distance array;
+  O(n²) time, restricted to the reducible linkages (single, complete,
+  average, Ward) and producing identical cuts to ``generic`` on tie-free
+  distances (exact ties are broken differently, as any two valid
+  agglomerative implementations may).
+* ``auto`` — picks ``nn_chain`` whenever the linkage allows it, else falls
+  back to ``generic``.  This is the default everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.backends.base import ClusteringBackend
+from repro.cluster.backends.generic import GenericBackend
+from repro.cluster.backends.nn_chain import NNChainBackend
+from repro.cluster.linkage import Linkage
+
+#: Sentinel name selecting the fastest backend supporting the linkage.
+AUTO_BACKEND = "auto"
+
+_REGISTRY: dict[str, type[ClusteringBackend]] = {
+    GenericBackend.name: GenericBackend,
+    NNChainBackend.name: NNChainBackend,
+}
+
+#: Names of the concrete backends.
+BACKEND_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+#: Every valid ``backend=`` string, including ``"auto"``.
+BACKEND_CHOICES: tuple[str, ...] = (AUTO_BACKEND, *BACKEND_NAMES)
+
+
+def get_backend(name: str) -> ClusteringBackend:
+    """Return a new instance of the backend registered under ``name``."""
+    try:
+        backend_cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown clustering backend {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return backend_cls()
+
+
+def resolve_backend(
+    spec: str | ClusteringBackend, linkage: Linkage
+) -> ClusteringBackend:
+    """Resolve a backend spec (name, ``"auto"`` or instance) for ``linkage``.
+
+    Raises
+    ------
+    ValueError
+        If a named/instance backend does not support the linkage, or the
+        name is unknown.  ``"auto"`` never fails: it degrades to ``generic``.
+    """
+    if isinstance(spec, ClusteringBackend):
+        if not spec.supports(linkage):
+            raise ValueError(
+                f"backend {spec.name!r} does not support linkage {linkage.value!r}"
+            )
+        return spec
+    if spec == AUTO_BACKEND:
+        fast = NNChainBackend()
+        return fast if fast.supports(linkage) else GenericBackend()
+    backend = get_backend(spec)
+    if not backend.supports(linkage):
+        raise ValueError(
+            f"backend {spec!r} does not support linkage {linkage.value!r}"
+        )
+    return backend
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKEND_CHOICES",
+    "BACKEND_NAMES",
+    "ClusteringBackend",
+    "GenericBackend",
+    "NNChainBackend",
+    "get_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,82 @@
+"""Backend interface of the agglomerative clustering engine.
+
+A backend turns a condensed pairwise-distance array into the full merge
+history (the linkage matrix backing :class:`repro.cluster.hierarchical.Dendrogram`).
+All backends must produce merge matrices whose *cuts* agree — the same
+partition at every number of clusters and every distance threshold — so the
+rest of the system (tuner, labelling, benchmarks) is backend-agnostic and the
+fastest supported backend can be picked automatically per linkage.
+
+The one caveat is exact distance *ties* (e.g. duplicate observations): a tie
+makes the hierarchy itself ambiguous, and different backends — like any two
+valid agglomerative implementations, SciPy's methods included — may break it
+differently and cut to different (equally valid) partitions.  On tie-free
+distances the cuts are identical.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.cluster.distance import condensed_from_square
+from repro.cluster.linkage import Linkage
+
+
+class ClusteringBackend(abc.ABC):
+    """Strategy computing the merge history of one clustering run.
+
+    Subclasses set :attr:`name` (the registry key used by ``ModelConfig`` and
+    the CLI) and implement :meth:`supports` and :meth:`compute_merges`.
+    """
+
+    #: Registry key of the backend (e.g. ``"generic"``, ``"nn_chain"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def supports(self, linkage: Linkage) -> bool:
+        """Return whether this backend can run the given linkage criterion."""
+
+    @abc.abstractmethod
+    def compute_merges(
+        self,
+        condensed: np.ndarray,
+        num_observations: int,
+        linkage: Linkage,
+    ) -> np.ndarray:
+        """Return the ``(n - 1, 4)`` merge matrix for ``condensed`` distances.
+
+        Parameters
+        ----------
+        condensed:
+            Upper-triangular pairwise distances in scipy's condensed layout
+            (``n * (n - 1) / 2`` entries); never mutated.
+        num_observations:
+            Number of original observations ``n``.
+        linkage:
+            Linkage criterion driving the Lance–Williams updates.
+
+        Returns
+        -------
+        numpy.ndarray
+            Rows of ``(cluster_a, cluster_b, distance, new_size)`` following
+            the SciPy convention: observations are clusters ``0 … n-1`` and
+            the cluster created by row ``m`` has id ``n + m``.
+        """
+
+    def compute_merges_from_square(
+        self, square: np.ndarray, linkage: Linkage
+    ) -> np.ndarray:
+        """Return the merge matrix for a square ``(n, n)`` distance matrix.
+
+        The default condenses and delegates to :meth:`compute_merges`;
+        backends whose working representation *is* the square matrix
+        override this to skip the round trip.  ``square`` is never mutated.
+        """
+        return self.compute_merges(
+            condensed_from_square(square), square.shape[0], linkage
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,96 @@
+"""Reference backend: full-matrix Lance–Williams agglomeration.
+
+This is the straightforward textbook implementation: keep the dense ``(n, n)``
+distance matrix, find the global closest active pair with a full argmin scan
+on every merge, and update the merged row with the Lance–Williams recurrence.
+The per-merge scan makes it O(n³)-ish overall, but it places no restriction
+on the linkage criterion and serves as the ground truth the fast backends are
+validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.backends.base import ClusteringBackend
+from repro.cluster.distance import square_from_condensed
+from repro.cluster.linkage import Linkage, lance_williams_update
+
+
+class GenericBackend(ClusteringBackend):
+    """Full-matrix agglomeration with per-merge global argmin scans."""
+
+    name = "generic"
+
+    def supports(self, linkage: Linkage) -> bool:
+        return True
+
+    def compute_merges(
+        self,
+        condensed: np.ndarray,
+        num_observations: int,
+        linkage: Linkage,
+    ) -> np.ndarray:
+        return self.compute_merges_from_square(
+            square_from_condensed(condensed, num_observations), linkage
+        )
+
+    def compute_merges_from_square(
+        self, square: np.ndarray, linkage: Linkage
+    ) -> np.ndarray:
+        n = square.shape[0]
+        if n <= 1:
+            return np.empty((0, 4))
+
+        work = np.array(square, dtype=float, copy=True)
+        use_squared = linkage is Linkage.WARD
+        if use_squared:
+            work **= 2
+        np.fill_diagonal(work, np.inf)
+
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n, dtype=int)
+        cluster_ids = np.arange(n)
+        merges = np.zeros((n - 1, 4))
+
+        for merge_index in range(n - 1):
+            # Find the closest active pair.
+            masked = np.where(active[:, None] & active[None, :], work, np.inf)
+            flat = int(np.argmin(masked))
+            i, j = flat // n, flat % n
+            if i > j:
+                i, j = j, i
+            merge_distance = masked[i, j]
+            if use_squared:
+                merge_distance = float(np.sqrt(max(merge_distance, 0.0)))
+            else:
+                merge_distance = float(merge_distance)
+
+            size_i, size_j = int(sizes[i]), int(sizes[j])
+            new_size = size_i + size_j
+            merges[merge_index] = (cluster_ids[i], cluster_ids[j], merge_distance, new_size)
+
+            # Lance–Williams update of distances from the merged cluster
+            # (stored in slot i) to every other active cluster.
+            others = np.nonzero(active)[0]
+            others = others[(others != i) & (others != j)]
+            if others.size:
+                updated = lance_williams_update(
+                    linkage,
+                    work[i, others],
+                    work[j, others],
+                    float(work[i, j]),
+                    size_i,
+                    size_j,
+                    sizes[others],
+                )
+                work[i, others] = updated
+                work[others, i] = updated
+
+            active[j] = False
+            work[j, :] = np.inf
+            work[:, j] = np.inf
+            sizes[i] = new_size
+            cluster_ids[i] = n + merge_index
+
+        return merges

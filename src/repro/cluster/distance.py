@@ -59,3 +59,40 @@ def condensed_index(i: int, j: int, n: int) -> int:
     if i > j:
         i, j = j, i
     return int(n * i - (i * (i + 1)) // 2 + (j - i - 1))
+
+
+def condensed_indices(i: int, ks: np.ndarray, n: int) -> np.ndarray:
+    """Return the condensed indices of the pairs ``(i, k)`` for every ``k`` in ``ks``.
+
+    Vectorised counterpart of :func:`condensed_index`; ``ks`` must not
+    contain ``i`` itself (the condensed form has no diagonal).
+    """
+    ks = np.asarray(ks, dtype=np.int64)
+    lo = np.minimum(i, ks)
+    hi = np.maximum(i, ks)
+    return lo * (2 * n - lo - 1) // 2 + (hi - lo - 1)
+
+
+def condensed_from_square(matrix: np.ndarray) -> np.ndarray:
+    """Return the condensed (upper-triangular, row-major) form of ``matrix``."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {arr.shape}")
+    return arr[np.triu_indices(arr.shape[0], k=1)]
+
+
+def square_from_condensed(condensed: np.ndarray, num_observations: int) -> np.ndarray:
+    """Return the symmetric ``(n, n)`` matrix encoded by ``condensed``."""
+    arr = np.asarray(condensed, dtype=float).ravel()
+    n = num_observations
+    expected = n * (n - 1) // 2
+    if arr.size != expected:
+        raise ValueError(
+            f"condensed form of {n} observations must have {expected} entries, "
+            f"got {arr.size}"
+        )
+    square = np.zeros((n, n))
+    rows, cols = np.triu_indices(n, k=1)
+    square[rows, cols] = arr
+    square[cols, rows] = arr
+    return square

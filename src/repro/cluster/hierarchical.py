@@ -7,6 +7,11 @@ met.  Distances between clusters follow the configured linkage criterion
 Lance–Williams recurrence, and the full merge history is recorded as a
 dendrogram so the same fit can be cut at any distance threshold or any
 target number of clusters without re-running the clustering.
+
+The merge history itself is computed by a pluggable backend (see
+:mod:`repro.cluster.backends`): the ``generic`` full-matrix reference, or
+the O(n²) ``nn_chain`` nearest-neighbor-chain engine picked automatically
+for the reducible linkages.
 """
 
 from __future__ import annotations
@@ -15,8 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.backends import AUTO_BACKEND, ClusteringBackend, resolve_backend
 from repro.cluster.distance import euclidean_distance_matrix
-from repro.cluster.linkage import Linkage, lance_williams_coefficients
+from repro.cluster.linkage import Linkage
 
 
 @dataclass(frozen=True)
@@ -129,7 +135,15 @@ class ClusteringResult:
         return int(np.unique(self.labels).size)
 
     def cluster_sizes(self) -> np.ndarray:
-        """Return the size of each cluster (indexed by label)."""
+        """Return the size of each cluster (indexed by label).
+
+        Raises
+        ------
+        ValueError
+            If the cut holds no labels at all (nothing was clustered).
+        """
+        if self.labels.size == 0:
+            raise ValueError("cannot compute cluster sizes of an empty labelling")
         return np.bincount(self.labels, minlength=self.num_clusters)
 
     def members_of(self, label: int) -> np.ndarray:
@@ -137,7 +151,16 @@ class ClusteringResult:
         return np.nonzero(self.labels == label)[0]
 
     def percentages(self) -> np.ndarray:
-        """Return the percentage of points in each cluster (Table 1)."""
+        """Return the percentage of points in each cluster (Table 1).
+
+        Raises
+        ------
+        ValueError
+            If the cut holds no labels at all — percentages would otherwise
+            be an undefined 0/0 division.
+        """
+        if self.labels.size == 0:
+            raise ValueError("cannot compute percentages of an empty labelling")
         sizes = self.cluster_sizes().astype(float)
         return 100.0 * sizes / sizes.sum()
 
@@ -149,16 +172,23 @@ class AgglomerativeClustering:
     ----------
     linkage:
         Linkage criterion; the paper uses :attr:`Linkage.AVERAGE`.
-
-    Notes
-    -----
-    Complexity is O(n²) memory for the distance matrix and O(n² · n_merge)
-    time in the worst case; with numpy-vectorised row updates and argmin
-    scans this is comfortable for tens of thousands of towers.
+    backend:
+        Merge-history engine: ``"auto"`` (default — the O(n²)
+        nearest-neighbor-chain engine whenever the linkage allows it),
+        ``"generic"``, ``"nn_chain"``, or a
+        :class:`~repro.cluster.backends.ClusteringBackend` instance.
+        Backends produce identical cuts on tie-free distances and differ
+        only in speed; exact ties may be broken differently.
     """
 
-    def __init__(self, *, linkage: Linkage = Linkage.AVERAGE) -> None:
+    def __init__(
+        self,
+        *,
+        linkage: Linkage = Linkage.AVERAGE,
+        backend: str | ClusteringBackend = AUTO_BACKEND,
+    ) -> None:
         self.linkage = linkage
+        self.backend = resolve_backend(backend, linkage)
 
     def fit(
         self,
@@ -176,7 +206,7 @@ class AgglomerativeClustering:
             matrix instead, e.g. to cluster with a non-Euclidean metric).
         """
         if precomputed_distances is not None:
-            distances = np.array(precomputed_distances, dtype=float, copy=True)
+            distances = np.asarray(precomputed_distances, dtype=float)
             if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
                 raise ValueError("precomputed_distances must be a square matrix")
         else:
@@ -191,67 +221,7 @@ class AgglomerativeClustering:
         if n == 1:
             return Dendrogram(merges=np.empty((0, 4)), num_observations=1)
 
-        use_squared = self.linkage is Linkage.WARD
-        work = distances**2 if use_squared else distances
-        np.fill_diagonal(work, np.inf)
-
-        active = np.ones(n, dtype=bool)
-        sizes = np.ones(n, dtype=int)
-        cluster_ids = np.arange(n)
-        merges = np.zeros((n - 1, 4))
-
-        for merge_index in range(n - 1):
-            # Find the closest active pair.
-            masked = np.where(active[:, None] & active[None, :], work, np.inf)
-            flat = int(np.argmin(masked))
-            i, j = flat // n, flat % n
-            if i > j:
-                i, j = j, i
-            merge_distance = masked[i, j]
-            if use_squared:
-                merge_distance = float(np.sqrt(max(merge_distance, 0.0)))
-            else:
-                merge_distance = float(merge_distance)
-
-            size_i, size_j = int(sizes[i]), int(sizes[j])
-            new_size = size_i + size_j
-            merges[merge_index] = (cluster_ids[i], cluster_ids[j], merge_distance, new_size)
-
-            # Lance–Williams update of distances from the merged cluster
-            # (stored in slot i) to every other active cluster.
-            others = np.nonzero(active)[0]
-            others = others[(others != i) & (others != j)]
-            if others.size:
-                d_ik = work[i, others]
-                d_jk = work[j, others]
-                d_ij = work[i, j]
-                sizes_k = sizes[others]
-                if self.linkage is Linkage.WARD:
-                    total = size_i + size_j + sizes_k
-                    updated = (
-                        (size_i + sizes_k) / total * d_ik
-                        + (size_j + sizes_k) / total * d_jk
-                        - sizes_k / total * d_ij
-                    )
-                else:
-                    alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(
-                        self.linkage, size_i, size_j, 1
-                    )
-                    updated = (
-                        alpha_i * d_ik
-                        + alpha_j * d_jk
-                        + beta * d_ij
-                        + gamma * np.abs(d_ik - d_jk)
-                    )
-                work[i, others] = updated
-                work[others, i] = updated
-
-            active[j] = False
-            work[j, :] = np.inf
-            work[:, j] = np.inf
-            sizes[i] = new_size
-            cluster_ids[i] = n + merge_index
-
+        merges = self.backend.compute_merges_from_square(distances, self.linkage)
         return Dendrogram(merges=merges, num_observations=n)
 
     def fit_predict(

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 
 class Linkage(enum.Enum):
     """Supported linkage criteria."""
@@ -59,3 +61,33 @@ def lance_williams_coefficients(
             0.0,
         )
     raise ValueError(f"unsupported linkage: {linkage!r}")
+
+
+def lance_williams_update(
+    linkage: Linkage,
+    d_ik: np.ndarray,
+    d_jk: np.ndarray,
+    d_ij: float,
+    size_i: int,
+    size_j: int,
+    sizes_k: np.ndarray,
+) -> np.ndarray:
+    """Return the updated distances ``d(i∪j, k)`` for a batch of clusters ``k``.
+
+    This is the single shared implementation of the recurrence used by every
+    clustering backend, so a fix here keeps their cuts in agreement.  For
+    Ward linkage all distances (``d_ik``, ``d_jk``, ``d_ij`` and the return
+    value) are *squared* Euclidean distances; ``sizes_k`` holds the size of
+    each third cluster and is only consulted by Ward.
+    """
+    if linkage is Linkage.WARD:
+        total = size_i + size_j + sizes_k
+        return (
+            (size_i + sizes_k) / total * d_ik
+            + (size_j + sizes_k) / total * d_jk
+            - sizes_k / total * d_ij
+        )
+    alpha_i, alpha_j, beta, gamma = lance_williams_coefficients(
+        linkage, size_i, size_j, 1
+    )
+    return alpha_i * d_ik + alpha_j * d_jk + beta * d_ij + gamma * np.abs(d_ik - d_jk)

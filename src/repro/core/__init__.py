@@ -11,16 +11,34 @@
 
 into one fitted object, matching Sections 3–5 of the paper.  The
 configuration dataclasses live in :mod:`repro.core.config`, the result
-containers in :mod:`repro.core.results`.
+containers in :mod:`repro.core.results`; the fit itself runs on the staged
+pipeline engine of :mod:`repro.core.pipeline` whose six stage classes live
+in :mod:`repro.core.stages`.
 """
 
 from repro.core.config import ModelConfig
 from repro.core.model import TrafficPatternModel
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    PipelineStage,
+    StageTiming,
+    timings_as_dict,
+)
 from repro.core.results import ClusterSummary, ModelResult
+from repro.core.stages import default_stages
 
 __all__ = [
     "ClusterSummary",
     "ModelConfig",
     "ModelResult",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineError",
+    "PipelineStage",
+    "StageTiming",
     "TrafficPatternModel",
+    "default_stages",
+    "timings_as_dict",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.backends import BACKEND_CHOICES
 from repro.cluster.linkage import Linkage
 from repro.vectorize.normalize import NormalizationMethod
 
@@ -20,6 +21,12 @@ class ModelConfig:
     linkage:
         Linkage criterion of the hierarchical clustering (the paper uses
         average linkage).
+    cluster_backend:
+        Merge-history engine of the clustering stage: ``"auto"`` (default —
+        the O(n²) nearest-neighbor-chain backend whenever the linkage
+        allows it), ``"generic"`` or ``"nn_chain"``.  Backends produce
+        identical cuts on tie-free distances and differ only in speed;
+        exact ties may be broken differently.
     validity_index:
         Validity index minimised/maximised by the metric tuner
         (``"davies_bouldin"`` in the paper).
@@ -40,6 +47,7 @@ class ModelConfig:
 
     normalization: NormalizationMethod = NormalizationMethod.ZSCORE
     linkage: Linkage = Linkage.AVERAGE
+    cluster_backend: str = "auto"
     validity_index: str = "davies_bouldin"
     min_clusters: int = 2
     max_clusters: int = 10
@@ -55,6 +63,11 @@ class ModelConfig:
     )
 
     def __post_init__(self) -> None:
+        if self.cluster_backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown cluster_backend {self.cluster_backend!r}; "
+                f"choose from {list(BACKEND_CHOICES)}"
+            )
         if self.min_clusters < 2:
             raise ValueError(f"min_clusters must be at least 2, got {self.min_clusters}")
         if self.max_clusters < self.min_clusters:

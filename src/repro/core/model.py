@@ -1,11 +1,13 @@
 """The end-to-end traffic-pattern model.
 
-:class:`TrafficPatternModel` chains the paper's full pipeline:
+:class:`TrafficPatternModel` is a thin facade over the staged pipeline
+engine (:mod:`repro.core.pipeline`).  The paper's full fit runs as six
+composable stages (:mod:`repro.core.stages`):
 
 1. **Vectorize** — aggregate traffic to 10-minute slots per tower and
    normalise each tower's vector (Section 3.2, traffic vectorizer).
-2. **Cluster** — average-linkage hierarchical clustering of the vectors
-   (Section 3.2, pattern identifier).
+2. **Cluster** — hierarchical clustering of the vectors via a pluggable
+   backend (Section 3.2, pattern identifier).
 3. **Tune** — pick the number of patterns minimising the Davies–Bouldin
    index (Section 3.2, metric tuner), unless a fixed number is configured.
 4. **Label** — assign urban functional regions to the clusters from POI
@@ -14,27 +16,22 @@
    frequency components (Section 5.1–5.2).
 6. **Decompose** — select the most representative tower of each pure cluster
    and expose convex decompositions of arbitrary towers (Section 5.3).
+
+Override :meth:`TrafficPatternModel.build_pipeline` (or assemble a
+:class:`~repro.core.pipeline.Pipeline` directly) to skip or replace stages.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.cluster.hierarchical import AgglomerativeClustering, ClusteringResult
-from repro.cluster.tuner import MetricTuner, TuningCurve
 from repro.core.config import ModelConfig
+from repro.core.pipeline import Pipeline, PipelineContext, timings_as_dict
 from repro.core.results import ModelResult
+from repro.core.stages import default_stages
 from repro.decompose.convex import ConvexDecomposition, decompose_features
 from repro.decompose.mixture import TimeDomainMixture, mixture_time_series
-from repro.decompose.representative import RepresentativeTowers, select_representative_towers
-from repro.geo.labeling import ClusterLabeling, label_clusters
-from repro.geo.poi_profile import POIProfile, compute_poi_profiles
-from repro.spectral.components import principal_components_for_window
-from repro.spectral.features import extract_frequency_features
 from repro.synth.city import CityModel
 from repro.synth.regions import RegionType
 from repro.synth.traffic import TowerTrafficMatrix
-from repro.vectorize.vectorizer import TrafficVectorizer
 
 
 class TrafficPatternModel:
@@ -75,6 +72,15 @@ class TrafficPatternModel:
             raise RuntimeError("the model has not been fitted yet; call fit() first")
         return self._result
 
+    def build_pipeline(self) -> Pipeline:
+        """Assemble the default six-stage pipeline.
+
+        Subclasses (or callers constructing their own model) can override
+        this to skip or replace stages; :meth:`fit` runs whatever pipeline
+        this returns.
+        """
+        return Pipeline(default_stages())
+
     def fit(
         self,
         traffic: TowerTrafficMatrix,
@@ -93,104 +99,26 @@ class TrafficPatternModel:
             layer; required for the geographic labelling step (skipped when
             absent).
         """
-        cfg = self.config
-        window = traffic.window
-
-        # 1. Vectorize.
-        vectorizer = TrafficVectorizer(method=cfg.normalization)
-        vectorized = vectorizer.from_matrix(traffic)
-
-        # 2-3. Cluster and tune.
-        clusterer = AgglomerativeClustering(linkage=cfg.linkage)
-        dendrogram = clusterer.fit(vectorized.vectors)
-        tuning_curve: TuningCurve | None = None
-        if cfg.num_clusters is not None:
-            labels = dendrogram.labels_at_num_clusters(cfg.num_clusters)
-            threshold = None
-        else:
-            tuner = MetricTuner(
-                index=cfg.validity_index,
-                min_clusters=cfg.min_clusters,
-                max_clusters=cfg.max_clusters,
-            )
-            labels, tuning_curve = tuner.select(vectorized.vectors, dendrogram)
-            _, _, threshold = tuning_curve.best()
-        clustering = ClusteringResult(
-            labels=labels,
-            dendrogram=dendrogram,
-            linkage=cfg.linkage,
-            threshold=threshold,
-        )
-
-        # 4. Label with urban functional regions (needs the POI layer).
-        labeling: ClusterLabeling | None = None
-        poi_profile: POIProfile | None = None
-        if city is not None:
-            coordinates = np.array(
-                [(city.tower(tid).lat, city.tower(tid).lon) for tid in vectorized.tower_ids]
-            )
-            poi_profile = compute_poi_profiles(
-                vectorized.tower_ids,
-                coordinates[:, 0],
-                coordinates[:, 1],
-                city.pois,
-                radius_km=cfg.poi_radius_km,
-            )
-            labeling = label_clusters(poi_profile, clustering.labels)
-
-        # 5. Spectral features.
-        components = principal_components_for_window(window)
-        frequency_features = extract_frequency_features(
-            traffic.traffic,
-            traffic.tower_ids,
-            components,
-            normalization=cfg.feature_normalization,
-        )
-
-        # 6. Representative towers of the pure clusters.
-        representatives: RepresentativeTowers | None = None
-        feature_matrix = frequency_features.feature_matrix(cfg.decomposition_feature)
-        pure_clusters = self._pure_cluster_labels(clustering, labeling)
-        if pure_clusters.size >= 2:
-            representatives = select_representative_towers(
-                feature_matrix,
-                clustering.labels,
-                vectorized.tower_ids,
-                clusters=pure_clusters,
-            )
+        context = PipelineContext(config=self.config, traffic=traffic, city=city)
+        self.build_pipeline().run(context)
 
         self._result = ModelResult(
-            window=window,
-            vectorized=vectorized,
-            clustering=clustering,
-            tuning_curve=tuning_curve,
-            labeling=labeling,
-            poi_profile=poi_profile,
-            components=components,
-            frequency_features=frequency_features,
-            representatives=representatives,
-            extras={"decomposition_feature": cfg.decomposition_feature},
+            window=traffic.window,
+            vectorized=context.require("vectorized"),
+            clustering=context.require("clustering"),
+            tuning_curve=context.get("tuning_curve"),
+            labeling=context.get("labeling"),
+            poi_profile=context.get("poi_profile"),
+            components=context.require("components"),
+            frequency_features=context.require("frequency_features"),
+            representatives=context.get("representatives"),
+            extras={
+                "decomposition_feature": self.config.decomposition_feature,
+                "stage_timings": timings_as_dict(context.timings),
+                "stages_skipped": [t.name for t in context.timings if t.skipped],
+            },
         )
         return self._result
-
-    @staticmethod
-    def _pure_cluster_labels(
-        clustering: ClusteringResult, labeling: ClusterLabeling | None
-    ) -> np.ndarray:
-        """Return the cluster labels used as primary components.
-
-        With a labelling available these are the four non-comprehensive
-        clusters; without one, every cluster is used.
-        """
-        all_labels = np.unique(clustering.labels)
-        if labeling is None:
-            return all_labels
-        pure = [
-            int(label)
-            for label in all_labels
-            if labeling.region_of(int(label)) is not RegionType.COMPREHENSIVE
-        ]
-        return np.array(pure, dtype=int)
 
     # ------------------------------------------------------------------
     # Post-fit analysis helpers

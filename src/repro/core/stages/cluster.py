@@ -1,0 +1,26 @@
+"""Stage 2 — hierarchical clustering (Section 3.2, pattern identifier)."""
+
+from __future__ import annotations
+
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.core.pipeline import PipelineContext
+
+
+class ClusterStage:
+    """Fit the full dendrogram of the normalised traffic vectors.
+
+    The merge-history backend (``auto``/``generic``/``nn_chain``) comes from
+    ``ModelConfig.cluster_backend``; ``auto`` picks the O(n²)
+    nearest-neighbor-chain engine for every reducible linkage.
+    """
+
+    name = "cluster"
+
+    def run(self, context: PipelineContext) -> None:
+        cfg = context.config
+        vectorized = context.require("vectorized")
+        clusterer = AgglomerativeClustering(
+            linkage=cfg.linkage, backend=cfg.cluster_backend
+        )
+        dendrogram = clusterer.fit(vectorized.vectors)
+        context.set("dendrogram", dendrogram, producer=self.name)

@@ -1,0 +1,58 @@
+"""Stage 6 — representative towers of the pure clusters (Section 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hierarchical import ClusteringResult
+from repro.core.pipeline import PipelineContext
+from repro.decompose.representative import (
+    RepresentativeTowers,
+    select_representative_towers,
+)
+from repro.geo.labeling import ClusterLabeling
+from repro.synth.regions import RegionType
+
+
+def pure_cluster_labels(
+    clustering: ClusteringResult, labeling: ClusterLabeling | None
+) -> np.ndarray:
+    """Return the cluster labels used as primary components.
+
+    With a labelling available these are the four non-comprehensive
+    clusters; without one, every cluster is used.
+    """
+    all_labels = np.unique(clustering.labels)
+    if labeling is None:
+        return all_labels
+    pure = [
+        int(label)
+        for label in all_labels
+        if labeling.region_of(int(label)) is not RegionType.COMPREHENSIVE
+    ]
+    return np.array(pure, dtype=int)
+
+
+class DecomposeStage:
+    """Select each pure cluster's most representative tower (decomposition basis)."""
+
+    name = "decompose"
+
+    def run(self, context: PipelineContext) -> None:
+        cfg = context.config
+        vectorized = context.require("vectorized")
+        clustering = context.require("clustering")
+        frequency_features = context.require("frequency_features")
+        labeling = context.get("labeling")
+
+        representatives: RepresentativeTowers | None = None
+        feature_matrix = frequency_features.feature_matrix(cfg.decomposition_feature)
+        pure_clusters = pure_cluster_labels(clustering, labeling)
+        if pure_clusters.size >= 2:
+            representatives = select_representative_towers(
+                feature_matrix,
+                clustering.labels,
+                vectorized.tower_ids,
+                clusters=pure_clusters,
+            )
+        context.set("representatives", representatives, producer=self.name)

@@ -1,0 +1,44 @@
+"""Stage 4 — urban-functional-region labelling (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import PipelineContext
+from repro.geo.labeling import label_clusters
+from repro.geo.poi_profile import compute_poi_profiles
+
+
+class LabelStage:
+    """Assign functional regions to the clusters from POI profiles.
+
+    Runs only when a city model (tower coordinates + POI layer) is present
+    in the context; otherwise the runner records the stage as skipped.
+    """
+
+    name = "label"
+
+    def should_run(self, context: PipelineContext) -> bool:
+        return context.city is not None
+
+    def run(self, context: PipelineContext) -> None:
+        city = context.city
+        if city is None:
+            raise ValueError("the label stage needs context.city")
+        cfg = context.config
+        vectorized = context.require("vectorized")
+        clustering = context.require("clustering")
+
+        coordinates = np.array(
+            [(city.tower(tid).lat, city.tower(tid).lon) for tid in vectorized.tower_ids]
+        )
+        poi_profile = compute_poi_profiles(
+            vectorized.tower_ids,
+            coordinates[:, 0],
+            coordinates[:, 1],
+            city.pois,
+            radius_km=cfg.poi_radius_km,
+        )
+        labeling = label_clusters(poi_profile, clustering.labels)
+        context.set("poi_profile", poi_profile, producer=self.name)
+        context.set("labeling", labeling, producer=self.name)

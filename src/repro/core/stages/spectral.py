@@ -1,0 +1,28 @@
+"""Stage 5 — frequency-domain features (Sections 5.1–5.2)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineContext
+from repro.spectral.components import principal_components_for_window
+from repro.spectral.features import extract_frequency_features
+
+
+class SpectralStage:
+    """Extract amplitude/phase features at the principal frequency components."""
+
+    name = "spectral"
+
+    def run(self, context: PipelineContext) -> None:
+        traffic = context.traffic
+        if traffic is None:
+            raise ValueError("the spectral stage needs context.traffic")
+        cfg = context.config
+        components = principal_components_for_window(traffic.window)
+        frequency_features = extract_frequency_features(
+            traffic.traffic,
+            traffic.tower_ids,
+            components,
+            normalization=cfg.feature_normalization,
+        )
+        context.set("components", components, producer=self.name)
+        context.set("frequency_features", frequency_features, producer=self.name)

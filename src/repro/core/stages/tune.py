@@ -1,0 +1,41 @@
+"""Stage 3 — cut selection (Section 3.2, metric tuner)."""
+
+from __future__ import annotations
+
+from repro.cluster.hierarchical import ClusteringResult
+from repro.cluster.tuner import MetricTuner, TuningCurve
+from repro.core.pipeline import PipelineContext
+
+
+class TuneStage:
+    """Cut the dendrogram — at a fixed ``num_clusters`` or at the validity
+    optimum — and publish the resulting :class:`ClusteringResult`."""
+
+    name = "tune"
+
+    def run(self, context: PipelineContext) -> None:
+        cfg = context.config
+        vectorized = context.require("vectorized")
+        dendrogram = context.require("dendrogram")
+
+        tuning_curve: TuningCurve | None = None
+        if cfg.num_clusters is not None:
+            labels = dendrogram.labels_at_num_clusters(cfg.num_clusters)
+            threshold = None
+        else:
+            tuner = MetricTuner(
+                index=cfg.validity_index,
+                min_clusters=cfg.min_clusters,
+                max_clusters=cfg.max_clusters,
+            )
+            labels, tuning_curve = tuner.select(vectorized.vectors, dendrogram)
+            _, _, threshold = tuning_curve.best()
+
+        clustering = ClusteringResult(
+            labels=labels,
+            dendrogram=dendrogram,
+            linkage=cfg.linkage,
+            threshold=threshold,
+        )
+        context.set("clustering", clustering, producer=self.name)
+        context.set("tuning_curve", tuning_curve, producer=self.name)

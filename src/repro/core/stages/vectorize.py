@@ -1,0 +1,19 @@
+"""Stage 1 — traffic vectorization (Section 3.2, traffic vectorizer)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineContext
+from repro.vectorize.vectorizer import TrafficVectorizer
+
+
+class VectorizeStage:
+    """Aggregate traffic to 10-minute slots and normalise per tower."""
+
+    name = "vectorize"
+
+    def run(self, context: PipelineContext) -> None:
+        if context.traffic is None:
+            raise ValueError("the vectorize stage needs context.traffic")
+        vectorizer = TrafficVectorizer(method=context.config.normalization)
+        vectorized = vectorizer.from_matrix(context.traffic)
+        context.set("vectorized", vectorized, producer=self.name)

@@ -21,6 +21,14 @@ class TestParser:
         assert args.towers == 50
         assert args.days == 28
         assert args.clusters is None
+        assert args.cluster_backend == "auto"
+        assert args.timings is False
+
+    def test_cluster_backend_choices(self):
+        args = build_parser().parse_args(["fit", "--cluster-backend", "nn_chain"])
+        assert args.cluster_backend == "nn_chain"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--cluster-backend", "bogus"])
 
 
 class TestGenerate:
@@ -61,6 +69,25 @@ class TestFit:
         output = capsys.readouterr().out
         assert "identified 5 traffic patterns" in output
         assert "office" in output and "transport" in output
+
+    def test_fit_with_explicit_backend_and_timings(self, capsys):
+        exit_code = main(
+            [
+                "fit",
+                "--towers", "40",
+                "--users", "80",
+                "--days", "7",
+                "--seed", "11",
+                "--clusters", "4",
+                "--cluster-backend", "generic",
+                "--timings",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "pipeline stage timings:" in output
+        for stage_name in ("vectorize", "cluster", "tune", "label", "spectral", "decompose"):
+            assert stage_name in output
 
     def test_fit_with_tuner_reports_threshold(self, capsys):
         exit_code = main(
