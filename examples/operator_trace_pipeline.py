@@ -16,7 +16,7 @@ import tempfile
 from pathlib import Path
 
 from repro import ModelConfig, ScenarioConfig, TrafficPatternModel, generate_scenario
-from repro.ingest.loader import read_records_csv, write_records_csv
+from repro.ingest.loader import read_record_batch_csv, write_records_csv
 from repro.ingest.preprocess import preprocess_trace
 from repro.ingest.records import BaseStationInfo
 from repro.synth.geocoder import SyntheticGeocoder
@@ -26,7 +26,8 @@ from repro.viz.ascii import ascii_heatmap
 
 def main() -> None:
     # 1. Produce a raw operator trace: session-level logs with injected
-    #    duplicates and conflicting records.
+    #    duplicates and conflicting records, generated directly as a
+    #    columnar RecordBatch (the vectorized data plane).
     print("Generating raw session-level logs (this exercises the full ingestion path)...")
     scenario = generate_scenario(
         ScenarioConfig(
@@ -35,23 +36,26 @@ def main() -> None:
             num_days=7,
             seed=7,
             generate_sessions=True,
+            sessions_as_batch=True,
         )
     )
-    print(f"  raw records: {len(scenario.records):,} "
+    raw_batch = scenario.session_batch()
+    print(f"  raw records: {len(raw_batch):,} "
           f"(including {scenario.corruption_report.num_duplicates_added:,} duplicates and "
           f"{scenario.corruption_report.num_conflicts_added:,} conflicting copies)")
 
     # 2. Round-trip the trace through CSV, as an operator export would be.
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = Path(tmp) / "trace.csv"
-        write_records_csv(scenario.records, trace_path)
+        write_records_csv(raw_batch, trace_path)
         print(f"  wrote {trace_path.stat().st_size / 1e6:.1f} MB trace to {trace_path.name}")
-        records = list(read_records_csv(trace_path))
+        batch = read_record_batch_csv(trace_path)
 
-    # 3. Preprocess: dedup + conflict resolution, geocoding, traffic density.
+    # 3. Preprocess: dedup + conflict resolution (columnar), geocoding,
+    #    traffic density.
     stations = [BaseStationInfo(t.tower_id, t.address) for t in scenario.city.towers]
     geocoder = SyntheticGeocoder.from_towers(scenario.city.towers)
-    result = preprocess_trace(records, stations, geocoder)
+    result = preprocess_trace(batch, stations, geocoder)
     report = result.report
     print("\nPreprocessing report:")
     print(f"  exact duplicates removed : {report.dedup.num_exact_duplicates_removed:,}")
@@ -62,10 +66,12 @@ def main() -> None:
     print("\nTraffic density across the city (bytes/km², dark = low):")
     print(ascii_heatmap(result.density.normalized() ** 0.5))
 
-    # 4. Vectorize the clean records and fit the pattern model.
+    # 4. Vectorize the clean batch and fit the pattern model.
     vectorizer = TrafficVectorizer()
-    vectorized = vectorizer.from_records(
-        result.records, scenario.window, tower_ids=scenario.traffic.tower_ids.tolist()
+    vectorized = vectorizer.from_batch(
+        result.record_batch(),
+        scenario.window,
+        tower_ids=scenario.traffic.tower_ids.tolist(),
     )
     model = TrafficPatternModel(ModelConfig(num_clusters=5))
     fit = model.fit(vectorized.raw, city=scenario.city)

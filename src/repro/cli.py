@@ -28,18 +28,18 @@ from pathlib import Path
 from repro.cluster.backends import BACKEND_CHOICES
 from repro.core.config import ModelConfig
 from repro.core.model import TrafficPatternModel
+from repro.ingest.dedup import clean_batch
 from repro.ingest.loader import (
-    read_records_csv,
+    iter_record_batches_csv,
+    read_record_batch_csv,
     read_stations_csv,
     write_records_csv,
     write_stations_csv,
 )
 from repro.ingest.preprocess import preprocess_trace
 from repro.ingest.records import BaseStationInfo
-from repro.synth.geocoder import SyntheticGeocoder
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 from repro.utils.timeutils import TimeWindow
-from repro.vectorize.vectorizer import TrafficVectorizer
 from repro.viz.export import export_rows_csv
 from repro.viz.tables import format_table
 
@@ -59,6 +59,7 @@ def _build_scenario(args: argparse.Namespace, *, sessions: bool) -> Scenario:
             num_days=args.days,
             seed=args.seed,
             generate_sessions=sessions,
+            sessions_as_batch=sessions,
         )
     )
 
@@ -69,7 +70,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args, sessions=True)
     trace_path = output / "trace.csv"
     stations_path = output / "stations.csv"
-    num_records = write_records_csv(scenario.records, trace_path)
+    num_records = write_records_csv(scenario.session_batch(), trace_path)
     stations = [BaseStationInfo(t.tower_id, t.address) for t in scenario.city.towers]
     write_stations_csv(stations, stations_path)
     print(f"wrote {num_records:,} records to {trace_path}")
@@ -91,19 +92,29 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
     )
     model = TrafficPatternModel(config)
 
+    chunk_size = getattr(args, "chunk_size", 0)
+    if chunk_size and not args.trace:
+        raise SystemExit("--chunk-size only applies when fitting from --trace")
     if args.trace:
         if not args.stations:
             raise SystemExit("--stations is required when --trace is given")
-        records = list(read_records_csv(args.trace))
         stations = read_stations_csv(args.stations)
+        tower_ids = [station.tower_id for station in stations]
         window = TimeWindow(num_days=args.days)
-        preprocessed = preprocess_trace(records, stations, None, compute_density=False)
-        vectorized = TrafficVectorizer().from_records(
-            preprocessed.records,
-            window,
-            tower_ids=[station.tower_id for station in stations],
-        )
-        model.fit(vectorized.raw)
+        if chunk_size:
+            # Out-of-core streaming fit: each chunk is cleaned independently
+            # and scattered into the accumulator matrix, so memory stays
+            # bounded by the chunk size regardless of the trace size.
+            def cleaned_batches():
+                for batch in iter_record_batches_csv(args.trace, chunk_size=chunk_size):
+                    cleaned, _ = clean_batch(batch)
+                    yield cleaned
+
+            model.fit_batches(cleaned_batches(), window, tower_ids)
+            return model, None
+        batch = read_record_batch_csv(args.trace)
+        preprocessed = preprocess_trace(batch, stations, None, compute_density=False)
+        model.fit_batch(preprocessed.record_batch(), window, tower_ids=tower_ids)
         return model, None
 
     scenario = _build_scenario(args, sessions=False)
@@ -209,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(fit)
     fit.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
     fit.add_argument("--stations", help="stations CSV produced by 'generate'")
+    fit.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="stream the trace in chunks of this many records (out-of-core "
+        "fit for traces larger than memory; each chunk is cleaned "
+        "independently; 0 loads the whole trace)",
+    )
     fit.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     fit.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
     fit.add_argument(
@@ -229,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(decompose)
     decompose.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
     decompose.add_argument("--stations", help="stations CSV produced by 'generate'")
+    decompose.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="stream the trace in chunks of this many records (0 loads the "
+        "whole trace)",
+    )
     decompose.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     decompose.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
     decompose.add_argument(

@@ -23,15 +23,20 @@ Override :meth:`TrafficPatternModel.build_pipeline` (or assemble a
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from repro.core.config import ModelConfig
 from repro.core.pipeline import Pipeline, PipelineContext, timings_as_dict
 from repro.core.results import ModelResult
 from repro.core.stages import default_stages
 from repro.decompose.convex import ConvexDecomposition, decompose_features
 from repro.decompose.mixture import TimeDomainMixture, mixture_time_series
+from repro.ingest.batch import RecordBatch
 from repro.synth.city import CityModel
 from repro.synth.regions import RegionType
 from repro.synth.traffic import TowerTrafficMatrix
+from repro.utils.timeutils import TimeWindow
+from repro.vectorize.aggregate import aggregate_batches
 
 
 class TrafficPatternModel:
@@ -100,11 +105,69 @@ class TrafficPatternModel:
             absent).
         """
         context = PipelineContext(config=self.config, traffic=traffic, city=city)
-        self.build_pipeline().run(context)
+        return self._run_pipeline(context)
 
+    def fit_batch(
+        self,
+        batch: RecordBatch,
+        window: TimeWindow,
+        *,
+        tower_ids: Sequence[int] | None = None,
+        city: CityModel | None = None,
+    ) -> ModelResult:
+        """Fit the model directly on a columnar record batch.
+
+        The batch is aggregated through the vectorized columnar path by the
+        pipeline's vectorize stage (which publishes the resulting matrix for
+        the downstream stages).
+
+        Parameters
+        ----------
+        batch:
+            Cleaned connection records in columnar layout.
+        window:
+            Observation window defining the slot grid.
+        tower_ids:
+            Optional explicit row ordering (towers absent from the batch get
+            all-zero rows).
+        city:
+            Optional city model for the labelling stage.
+        """
+        context = PipelineContext(config=self.config, traffic=None, city=city)
+        context.set("record_batch", batch, producer="input")
+        context.set("window", window, producer="input")
+        if tower_ids is not None:
+            context.set("tower_ids", list(tower_ids), producer="input")
+        return self._run_pipeline(context)
+
+    def fit_batches(
+        self,
+        batches: Iterable[RecordBatch],
+        window: TimeWindow,
+        tower_ids: Sequence[int],
+        *,
+        city: CityModel | None = None,
+    ) -> ModelResult:
+        """Fit the model on a stream of cleaned record batches (out-of-core).
+
+        Each batch is scattered into the accumulator matrix as it arrives,
+        so traces larger than memory can be fitted; ``tower_ids`` must be
+        known up front (typically from the station directory).  Batches must
+        already be cleaned — run each chunk through
+        :func:`repro.ingest.dedup.clean_batch` first (the pattern the CLI's
+        ``--chunk-size`` path uses), otherwise duplicates and conflicting
+        copies inflate the matrix silently.
+        """
+        matrix = aggregate_batches(batches, window, tower_ids)
+        return self.fit(matrix, city=city)
+
+    def _run_pipeline(self, context: PipelineContext) -> ModelResult:
+        """Run the assembled pipeline and collect the :class:`ModelResult`."""
+        self.build_pipeline().run(context)
+        vectorized = context.require("vectorized")
         self._result = ModelResult(
-            window=traffic.window,
-            vectorized=context.require("vectorized"),
+            window=vectorized.window,
+            vectorized=vectorized,
             clustering=context.require("clustering"),
             tuning_curve=context.get("tuning_curve"),
             labeling=context.get("labeling"),

@@ -3,17 +3,37 @@
 from __future__ import annotations
 
 from repro.core.pipeline import PipelineContext
+from repro.utils.timeutils import TimeWindow
 from repro.vectorize.vectorizer import TrafficVectorizer
 
 
 class VectorizeStage:
-    """Aggregate traffic to 10-minute slots and normalise per tower."""
+    """Aggregate traffic to 10-minute slots and normalise per tower.
+
+    Two input shapes are supported: a pre-aggregated traffic matrix in
+    ``context.traffic`` (the fast path), or a columnar record batch published
+    as the ``record_batch`` artifact together with a ``window`` artifact (and
+    optionally ``tower_ids``), in which case the stage aggregates it through
+    the vectorized columnar path and publishes the resulting matrix back as
+    ``context.traffic`` for downstream stages.
+    """
 
     name = "vectorize"
 
     def run(self, context: PipelineContext) -> None:
-        if context.traffic is None:
-            raise ValueError("the vectorize stage needs context.traffic")
         vectorizer = TrafficVectorizer(method=context.config.normalization)
-        vectorized = vectorizer.from_matrix(context.traffic)
+        if context.traffic is None:
+            batch = context.get("record_batch")
+            if batch is None:
+                raise ValueError(
+                    "the vectorize stage needs context.traffic or a "
+                    "'record_batch' artifact"
+                )
+            window = context.require("window", TimeWindow)
+            vectorized = vectorizer.from_batch(
+                batch, window, tower_ids=context.get("tower_ids")
+            )
+            context.traffic = vectorized.raw
+        else:
+            vectorized = vectorizer.from_matrix(context.traffic)
         context.set("vectorized", vectorized, producer=self.name)

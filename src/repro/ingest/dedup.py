@@ -19,6 +19,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.ingest.batch import RecordBatch
 from repro.ingest.records import TrafficRecord
 
 #: A conflict resolution strategy maps the byte counts of the conflicting
@@ -150,5 +151,260 @@ def clean_records(
         num_exact_duplicates_removed=duplicates_removed,
         num_conflict_groups=conflict_groups,
         num_conflict_records_removed=conflict_removed,
+    )
+    return resolved, report
+
+
+
+# ----------------------------------------------------------------------
+# Columnar (RecordBatch) implementations
+# ----------------------------------------------------------------------
+#
+# Both cleaning primitives only ever merge rows sharing the *conflict key*
+# (device, tower, interval) — and in particular the exact ``start_s`` bit
+# pattern.  With start times drawn from a continuous distribution almost
+# every row has a unique start, so the columnar paths first partition rows
+# by a single cheap ``argsort`` over ``start_s``: rows whose start is unique
+# are provably untouched by cleaning, and only the small candidate fraction
+# sharing a start gets the full lexicographic sub-sort by
+# ``(start_s, user_id, tower_id, end_s, bytes_used, network)``.  Group
+# leaders are the members with the smallest original index (``first-seen'',
+# via ``np.minimum.reduceat``), so no sort needs to be stable, and restoring
+# the leaders' original order reproduces the scalar output exactly.  In the
+# worst case (every row sharing one start) the partition degenerates
+# gracefully into one full-width sub-sort.
+
+
+def _run_starts(keys: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Return the start offsets of equal-key runs in already-sorted columns."""
+    n = keys[0].shape[0]
+    new_run = np.zeros(n, dtype=bool)
+    new_run[0] = True
+    for key in keys:
+        new_run[1:] |= key[1:] != key[:-1]
+    return np.flatnonzero(new_run)
+
+
+def _cleaning_candidates(batch: RecordBatch) -> tuple[np.ndarray, np.ndarray]:
+    """Partition rows into untouched singletons and cleaning candidates.
+
+    Returns ``(singletons, candidates)`` as original-index arrays.  A row is
+    a candidate iff at least one other row shares its exact ``start_s``;
+    only candidates can be exact duplicates or conflicting copies.  The
+    candidate array comes back sorted by
+    ``(start_s, user_id, tower_id, end_s, bytes_used, network)``, i.e. by
+    conflict key first, then byte count — the order every downstream
+    grouping step relies on.
+    """
+    order = np.argsort(batch.start_s)
+    starts = batch.start_s[order]
+    run_head = np.empty(order.shape[0], dtype=bool)
+    run_head[0] = True
+    run_head[1:] = starts[1:] != starts[:-1]
+    run_id = np.cumsum(run_head) - 1
+    run_sizes = np.bincount(run_id)
+    is_candidate = run_sizes[run_id] > 1
+    singletons = order[~is_candidate]
+    candidates = order[is_candidate]
+    if candidates.size:
+        sub_order = np.lexsort(
+            (
+                batch.network[candidates],
+                batch.bytes_used[candidates],
+                batch.end_s[candidates],
+                batch.tower_id[candidates],
+                batch.user_id[candidates],
+                batch.start_s[candidates],
+            )
+        )
+        candidates = candidates[sub_order]
+    return singletons, candidates
+
+
+def _resolve_group_bytes(
+    strategy: ConflictStrategy,
+    conflicting: np.ndarray,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    sorted_bytes: np.ndarray,
+    member_index: np.ndarray,
+    leader_bytes: np.ndarray,
+) -> np.ndarray:
+    """Return the per-group resolved byte counts.
+
+    ``sorted_bytes``/``member_index`` describe group members in byte-sorted
+    order (``member_index`` holds each member's original row index);
+    ``leader_bytes`` holds the first-seen member's bytes per group — the
+    correct value for non-conflicting groups, and the exact result of
+    :func:`first_strategy`.  The built-in strategies are computed
+    vectorized; arbitrary callables fall back to a loop over the (rare)
+    conflicting groups, with each group's bytes presented in first-seen
+    order exactly like the scalar path.
+    """
+    new_bytes = leader_bytes.copy()
+    if not np.any(conflicting):
+        return new_bytes
+    if strategy is first_strategy:
+        return new_bytes
+    hit = np.flatnonzero(conflicting)
+    if strategy is max_strategy:
+        last = starts + sizes - 1
+        new_bytes[hit] = sorted_bytes[last[hit]]
+        return new_bytes
+    if strategy is median_strategy:
+        # Members are byte-sorted inside each group, so the median is a
+        # middle selection: the centre element for odd sizes, the mean of
+        # the two centre elements for even (bit-identical to np.median).
+        mid = starts[hit] + sizes[hit] // 2
+        odd = (sizes[hit] % 2) == 1
+        result = np.empty(hit.shape[0])
+        result[odd] = sorted_bytes[mid[odd]]
+        even = ~odd
+        result[even] = 0.5 * (sorted_bytes[mid[even] - 1] + sorted_bytes[mid[even]])
+        new_bytes[hit] = result
+        return new_bytes
+    for group_index in hit:
+        members = slice(starts[group_index], starts[group_index] + sizes[group_index])
+        first_seen = np.argsort(member_index[members], kind="stable")
+        new_bytes[group_index] = strategy(sorted_bytes[members][first_seen])
+    return new_bytes
+
+
+def _resolve_candidates(
+    batch: RecordBatch,
+    candidates: np.ndarray,
+    member_index: np.ndarray,
+    strategy: ConflictStrategy,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Resolve conflicts among candidate rows sorted by conflict key + bytes.
+
+    ``candidates`` indexes into ``batch`` (conflict-key-sorted, byte-sorted
+    within groups); ``member_index`` holds, per candidate, the original row
+    index its group-leadership should be judged by (the candidate itself,
+    or — after deduplication — the smallest index of its identity run).
+    Returns ``(group_leaders, group_bytes, conflict_groups, num_groups)``.
+    """
+    candidate_bytes = batch.bytes_used[candidates]
+    starts = _run_starts(
+        (
+            batch.start_s[candidates],
+            batch.user_id[candidates],
+            batch.tower_id[candidates],
+            batch.end_s[candidates],
+        )
+    )
+    sizes = np.diff(np.concatenate((starts, [candidates.shape[0]])))
+    last = starts + sizes - 1
+    # Members are byte-sorted inside each group, so a group conflicts iff
+    # its first and last byte counts differ.
+    conflicting = (candidate_bytes[last] > candidate_bytes[starts]) & (sizes > 1)
+    leaders = np.minimum.reduceat(member_index, starts)
+    group_bytes = _resolve_group_bytes(
+        strategy,
+        conflicting,
+        starts,
+        sizes,
+        candidate_bytes,
+        member_index,
+        batch.bytes_used[leaders],
+    )
+    return leaders, group_bytes, int(conflicting.sum()), int(starts.shape[0])
+
+
+def deduplicate_batch(batch: RecordBatch) -> tuple[RecordBatch, int]:
+    """Columnar :func:`deduplicate_records`: drop exact duplicates.
+
+    Keeps the first-seen copy of every identical row and preserves the
+    original first-seen order, matching the scalar implementation.
+    """
+    n = len(batch)
+    if n == 0:
+        return batch, 0
+    singletons, candidates = _cleaning_candidates(batch)
+    if candidates.size == 0:
+        return batch, 0
+    identity_starts = _run_starts(
+        tuple(column[candidates] for column in batch.columns())
+    )
+    leaders = np.minimum.reduceat(candidates, identity_starts)
+    kept = np.sort(np.concatenate((singletons, leaders)))
+    return batch.take(kept), int(n - kept.shape[0])
+
+
+def resolve_conflicts_batch(
+    batch: RecordBatch,
+    *,
+    strategy: ConflictStrategy = median_strategy,
+) -> tuple[RecordBatch, int, int]:
+    """Columnar :func:`resolve_conflicts`: collapse conflicting connections.
+
+    Groups rows by ``(user_id, tower_id, start_s, end_s)``; groups whose byte
+    counts all agree keep their first-seen row, genuinely conflicting groups
+    keep the first-seen row with the strategy-resolved byte count.  Custom
+    strategy callbacks receive the group's byte counts in first-seen order,
+    exactly like the scalar path.
+    """
+    n = len(batch)
+    if n == 0:
+        return batch, 0, 0
+    singletons, candidates = _cleaning_candidates(batch)
+    if candidates.size == 0:
+        return batch, 0, 0
+    leaders, group_bytes, conflict_groups, num_groups = _resolve_candidates(
+        batch, candidates, candidates, strategy
+    )
+    kept = np.concatenate((singletons, leaders))
+    kept_bytes = np.concatenate((batch.bytes_used[singletons], group_bytes))
+    first_seen = np.argsort(kept)
+    resolved = batch.take(kept[first_seen]).with_bytes(kept_bytes[first_seen])
+    removed = int(n - kept.shape[0])
+    return resolved, conflict_groups, removed
+
+
+def clean_batch(
+    batch: RecordBatch,
+    *,
+    strategy: ConflictStrategy = median_strategy,
+) -> tuple[RecordBatch, DedupReport]:
+    """Columnar :func:`clean_records`: both primitives plus a report.
+
+    Fused fast path: the candidate partition and its lexicographic sub-sort
+    are computed once and serve both exact deduplication (runs of all six
+    columns) and conflict grouping (runs of the four conflict-key columns),
+    so the full clean costs one cheap partition sort plus one sub-sort of
+    the candidate rows.
+    """
+    n = len(batch)
+    if n == 0:
+        return batch, DedupReport(0, 0, 0, 0)
+    singletons, candidates = _cleaning_candidates(batch)
+    if candidates.size == 0:
+        return batch, DedupReport(n, 0, 0, 0)
+
+    # Exact-duplicate runs: all six columns equal.  One representative per
+    # run survives — positionally the run head (keeping the candidate order
+    # sorted), while its leadership (which original row is "first seen") is
+    # the run's smallest original index.
+    identity_starts = _run_starts(
+        tuple(column[candidates] for column in batch.columns())
+    )
+    representatives = candidates[identity_starts]
+    representative_leaders = np.minimum.reduceat(candidates, identity_starts)
+    duplicates_removed = int(candidates.shape[0] - identity_starts.shape[0])
+
+    # The representatives are still sorted by conflict key then bytes, so
+    # conflict grouping needs no further sort.
+    leaders, group_bytes, conflict_groups, num_groups = _resolve_candidates(
+        batch, representatives, representative_leaders, strategy
+    )
+    kept = np.concatenate((singletons, leaders))
+    kept_bytes = np.concatenate((batch.bytes_used[singletons], group_bytes))
+    first_seen = np.argsort(kept)
+    resolved = batch.take(kept[first_seen]).with_bytes(kept_bytes[first_seen])
+    report = DedupReport(
+        num_input_records=n,
+        num_exact_duplicates_removed=duplicates_removed,
+        num_conflict_groups=conflict_groups,
+        num_conflict_records_removed=int(identity_starts.shape[0] - num_groups),
     )
     return resolved, report

@@ -16,7 +16,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ingest.dedup import ConflictStrategy, DedupReport, clean_records, median_strategy
+from repro.ingest.batch import RecordBatch
+from repro.ingest.dedup import (
+    ConflictStrategy,
+    DedupReport,
+    clean_batch,
+    clean_records,
+    median_strategy,
+)
 from repro.ingest.density import TrafficDensityMap, compute_density_map
 from repro.ingest.geocode import Geocoder, GeocodingReport, geocode_stations
 from repro.ingest.records import BaseStationInfo, TrafficRecord
@@ -37,9 +44,13 @@ class PreprocessingReport:
 
 @dataclass
 class PreprocessingResult:
-    """Outputs of the preprocessing pipeline."""
+    """Outputs of the preprocessing pipeline.
 
-    records: list[TrafficRecord]
+    ``records`` holds whatever representation went in: a list of
+    :class:`TrafficRecord` objects or a columnar :class:`RecordBatch`.
+    """
+
+    records: list[TrafficRecord] | RecordBatch
     stations: list[BaseStationInfo]
     density: TrafficDensityMap | None
     report: PreprocessingReport
@@ -48,9 +59,19 @@ class PreprocessingResult:
         """Return stations indexed by tower id."""
         return {station.tower_id: station for station in self.stations}
 
+    def record_batch(self) -> RecordBatch:
+        """Return the cleaned records as a columnar batch (converting if needed)."""
+        if isinstance(self.records, RecordBatch):
+            return self.records
+        return RecordBatch.from_records(self.records)
 
-def _per_tower_volume(records: list[TrafficRecord]) -> dict[int, float]:
+
+def _per_tower_volume(records: list[TrafficRecord] | RecordBatch) -> dict[int, float]:
     """Sum bytes per tower over all records."""
+    if isinstance(records, RecordBatch):
+        towers, inverse = np.unique(records.tower_id, return_inverse=True)
+        sums = np.bincount(inverse, weights=records.bytes_used, minlength=towers.size)
+        return {int(tower): float(total) for tower, total in zip(towers, sums)}
     volumes: dict[int, float] = {}
     for record in records:
         volumes[record.tower_id] = volumes.get(record.tower_id, 0.0) + record.bytes_used
@@ -58,7 +79,7 @@ def _per_tower_volume(records: list[TrafficRecord]) -> dict[int, float]:
 
 
 def preprocess_trace(
-    records: list[TrafficRecord],
+    records: list[TrafficRecord] | RecordBatch,
     stations: list[BaseStationInfo],
     geocoder: Geocoder | None = None,
     *,
@@ -71,7 +92,8 @@ def preprocess_trace(
     Parameters
     ----------
     records:
-        Raw (possibly corrupted) traffic records.
+        Raw (possibly corrupted) traffic records — a list of record objects
+        or a columnar :class:`RecordBatch` (cleaned via the vectorized path).
     stations:
         Station metadata; stations missing coordinates are geocoded when a
         ``geocoder`` is provided.
@@ -86,7 +108,10 @@ def preprocess_trace(
     density_grid_size:
         Resolution of the density grid along each axis.
     """
-    cleaned, dedup_report = clean_records(records, strategy=conflict_strategy)
+    if isinstance(records, RecordBatch):
+        cleaned, dedup_report = clean_batch(records, strategy=conflict_strategy)
+    else:
+        cleaned, dedup_report = clean_records(records, strategy=conflict_strategy)
 
     if geocoder is not None:
         geocoded_stations, geocoding_report = geocode_stations(stations, geocoder)

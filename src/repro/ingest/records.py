@@ -40,13 +40,14 @@ class TrafficRecord:
     network: str = "LTE"
 
     def __post_init__(self) -> None:
-        if self.start_s < 0:
+        # The comparisons are written negated so NaN values are rejected too.
+        if not self.start_s >= 0:
             raise ValueError(f"start_s must be non-negative, got {self.start_s}")
-        if self.end_s < self.start_s:
+        if not self.end_s >= self.start_s:
             raise ValueError(
                 f"end_s ({self.end_s}) must not precede start_s ({self.start_s})"
             )
-        if self.bytes_used < 0:
+        if not self.bytes_used >= 0:
             raise ValueError(f"bytes_used must be non-negative, got {self.bytes_used}")
         if self.network not in ("3G", "LTE"):
             raise ValueError(f"network must be '3G' or 'LTE', got {self.network!r}")

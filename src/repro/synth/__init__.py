@@ -26,11 +26,15 @@ so this package provides a faithful synthetic replacement:
 from repro.synth.activity import ActivityProfileLibrary, ActivityTemplate
 from repro.synth.city import CityConfig, CityModel, build_city
 from repro.synth.geocoder import GeocodeResult, SyntheticGeocoder
-from repro.synth.noise import LogCorruptionConfig, corrupt_records
+from repro.synth.noise import LogCorruptionConfig, corrupt_batch, corrupt_records
 from repro.synth.poi import POI, POICategory, generate_pois
 from repro.synth.regions import Region, RegionLayoutConfig, RegionType, generate_regions
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
-from repro.synth.sessions import SessionGenerationConfig, generate_session_records
+from repro.synth.sessions import (
+    SessionGenerationConfig,
+    generate_session_batch,
+    generate_session_records,
+)
 from repro.synth.towers import Tower, place_towers
 from repro.synth.traffic import TrafficGenerationConfig, TowerTrafficMatrix, generate_tower_traffic
 from repro.synth.users import User, UserPopulationConfig, generate_users
@@ -57,10 +61,12 @@ __all__ = [
     "User",
     "UserPopulationConfig",
     "build_city",
+    "corrupt_batch",
     "corrupt_records",
     "generate_pois",
     "generate_regions",
     "generate_scenario",
+    "generate_session_batch",
     "generate_session_records",
     "generate_tower_traffic",
     "generate_users",

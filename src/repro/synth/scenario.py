@@ -13,11 +13,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.ingest.batch import RecordBatch
 from repro.ingest.records import TrafficRecord
 from repro.synth.activity import ActivityProfileLibrary
 from repro.synth.city import CityConfig, CityModel, build_city
-from repro.synth.noise import CorruptionReport, LogCorruptionConfig, corrupt_records
-from repro.synth.sessions import SessionGenerationConfig, generate_session_records
+from repro.synth.noise import (
+    CorruptionReport,
+    LogCorruptionConfig,
+    corrupt_batch,
+    corrupt_records,
+)
+from repro.synth.sessions import (
+    SessionGenerationConfig,
+    generate_session_batch,
+    generate_session_records,
+)
 from repro.synth.towers import TowerPlacementConfig
 from repro.synth.traffic import (
     TowerTrafficMatrix,
@@ -43,6 +53,12 @@ class ScenarioConfig:
     generate_sessions:
         When true the raw session-level records (with corruption) are also
         generated, which is slower but exercises the ingestion pipeline.
+    sessions_as_batch:
+        When true the session generator emits a columnar
+        :class:`~repro.ingest.batch.RecordBatch` directly (vectorized fast
+        path, populating :attr:`Scenario.record_batch`) instead of a list of
+        record objects.  The trace is statistically identical but not
+        draw-for-draw identical to the scalar path.
     """
 
     num_towers: int = 600
@@ -50,6 +66,7 @@ class ScenarioConfig:
     num_days: int = 28
     seed: int = 0
     generate_sessions: bool = False
+    sessions_as_batch: bool = False
     traffic: TrafficGenerationConfig | None = None
     sessions: SessionGenerationConfig | None = None
     corruption: LogCorruptionConfig = field(default_factory=LogCorruptionConfig)
@@ -68,12 +85,23 @@ class Scenario:
     users: list[User]
     traffic: TowerTrafficMatrix
     records: list[TrafficRecord] = field(default_factory=list)
+    record_batch: RecordBatch | None = None
     corruption_report: CorruptionReport | None = None
 
     @property
     def window(self) -> TimeWindow:
         """The observation window of the scenario."""
         return self.traffic.window
+
+    def session_batch(self) -> RecordBatch:
+        """Return the session records as a columnar batch.
+
+        Uses :attr:`record_batch` when the scenario was generated with
+        ``sessions_as_batch=True``, otherwise converts :attr:`records`.
+        """
+        if self.record_batch is not None:
+            return self.record_batch
+        return RecordBatch.from_records(self.records)
 
     def ground_truth_labels(self) -> np.ndarray:
         """Return ground-truth cluster labels aligned with the traffic rows."""
@@ -111,19 +139,32 @@ def generate_scenario(config: ScenarioConfig | None = None) -> Scenario:
     )
 
     records: list[TrafficRecord] = []
+    record_batch: RecordBatch | None = None
     corruption_report: CorruptionReport | None = None
     if cfg.generate_sessions:
         session_config = cfg.sessions or SessionGenerationConfig(window=window)
-        clean_records = generate_session_records(
-            city.towers,
-            users,
-            session_config,
-            library=library,
-            rng=factory.generator("sessions"),
-        )
-        records, corruption_report = corrupt_records(
-            clean_records, cfg.corruption, rng=factory.generator("corruption")
-        )
+        if cfg.sessions_as_batch:
+            clean_batch = generate_session_batch(
+                city.towers,
+                users,
+                session_config,
+                library=library,
+                rng=factory.generator("sessions"),
+            )
+            record_batch, corruption_report = corrupt_batch(
+                clean_batch, cfg.corruption, rng=factory.generator("corruption")
+            )
+        else:
+            clean_records = generate_session_records(
+                city.towers,
+                users,
+                session_config,
+                library=library,
+                rng=factory.generator("sessions"),
+            )
+            records, corruption_report = corrupt_records(
+                clean_records, cfg.corruption, rng=factory.generator("corruption")
+            )
 
     return Scenario(
         config=cfg,
@@ -131,5 +172,6 @@ def generate_scenario(config: ScenarioConfig | None = None) -> Scenario:
         users=users,
         traffic=traffic,
         records=records,
+        record_batch=record_batch,
         corruption_report=corruption_report,
     )

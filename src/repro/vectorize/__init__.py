@@ -8,20 +8,35 @@ amplitude differences between towers do not interfere with the pattern
 discovery.
 """
 
-from repro.vectorize.aggregate import aggregate_records, aggregate_records_streaming
+from repro.vectorize.aggregate import (
+    aggregate_batch,
+    aggregate_batches,
+    aggregate_records,
+    aggregate_records_streaming,
+)
 from repro.vectorize.normalize import NormalizationMethod, normalize_matrix, normalize_vector
-from repro.vectorize.slots import slot_edges, slot_span_of_record, split_bytes_over_slots
+from repro.vectorize.slots import (
+    slot_edges,
+    slot_span_of_record,
+    slot_spans_of_intervals,
+    split_bytes_over_slots,
+    split_bytes_over_slots_batch,
+)
 from repro.vectorize.vectorizer import TrafficVectorizer, VectorizedTraffic
 
 __all__ = [
     "NormalizationMethod",
     "TrafficVectorizer",
     "VectorizedTraffic",
+    "aggregate_batch",
+    "aggregate_batches",
     "aggregate_records",
     "aggregate_records_streaming",
     "normalize_matrix",
     "normalize_vector",
     "slot_edges",
     "slot_span_of_record",
+    "slot_spans_of_intervals",
     "split_bytes_over_slots",
+    "split_bytes_over_slots_batch",
 ]

@@ -15,10 +15,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.ingest.batch import RecordBatch
 from repro.ingest.records import TrafficRecord
 from repro.synth.traffic import TowerTrafficMatrix
 from repro.utils.timeutils import TimeWindow
-from repro.vectorize.aggregate import aggregate_records
+from repro.vectorize.aggregate import aggregate_batch, aggregate_batches
 from repro.vectorize.normalize import NormalizationMethod, normalize_matrix
 
 
@@ -114,6 +115,41 @@ class TrafficVectorizer:
             window=matrix.window,
         )
 
+    def from_batch(
+        self,
+        batch: RecordBatch,
+        window: TimeWindow,
+        *,
+        tower_ids: Sequence[int] | None = None,
+    ) -> VectorizedTraffic:
+        """Vectorize a columnar record batch (fully vectorized aggregation)."""
+        matrix = aggregate_batch(
+            batch,
+            window,
+            tower_ids=tower_ids,
+            split_across_slots=self.split_across_slots,
+        )
+        return self.from_matrix(matrix)
+
+    def from_batches(
+        self,
+        batches: Iterable[RecordBatch],
+        window: TimeWindow,
+        tower_ids: Sequence[int],
+    ) -> VectorizedTraffic:
+        """Vectorize a stream of record batches (out-of-core aggregation).
+
+        ``tower_ids`` must be given up front: a streaming pass cannot
+        discover the row set without re-reading the data.
+        """
+        matrix = aggregate_batches(
+            batches,
+            window,
+            tower_ids,
+            split_across_slots=self.split_across_slots,
+        )
+        return self.from_matrix(matrix)
+
     def from_records(
         self,
         records: Iterable[TrafficRecord],
@@ -121,11 +157,12 @@ class TrafficVectorizer:
         *,
         tower_ids: Sequence[int] | None = None,
     ) -> VectorizedTraffic:
-        """Vectorize raw connection records (aggregation + normalisation)."""
-        matrix = aggregate_records(
-            records,
-            window,
-            tower_ids=tower_ids,
-            split_across_slots=self.split_across_slots,
+        """Vectorize raw connection records (aggregation + normalisation).
+
+        Compatibility shim: the records are converted to a
+        :class:`RecordBatch` and aggregated through the columnar fast path,
+        which produces the same matrix as the scalar reference.
+        """
+        return self.from_batch(
+            RecordBatch.from_records(records), window, tower_ids=tower_ids
         )
-        return self.from_matrix(matrix)

@@ -54,6 +54,10 @@ class TestGenerate:
 
 
 class TestFit:
+    def test_chunk_size_requires_trace(self):
+        with pytest.raises(SystemExit, match="--chunk-size"):
+            main(["fit", "--towers", "10", "--chunk-size", "1000"])
+
     def test_fit_on_synthetic_scenario(self, capsys):
         exit_code = main(
             [
