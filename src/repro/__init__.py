@@ -17,7 +17,9 @@ The package is organised as the paper's system is:
 * :mod:`repro.geo` — POI profiles, TF-IDF/NTF-IDF, labelling and validation;
 * :mod:`repro.analysis` — time-domain characterisation of the patterns;
 * :mod:`repro.viz` — ASCII/CSV reporting helpers;
-* :mod:`repro.core` — the end-to-end :class:`~repro.core.model.TrafficPatternModel`.
+* :mod:`repro.core` — the end-to-end :class:`~repro.core.model.TrafficPatternModel`;
+* :mod:`repro.io` — persistent model bundles (save/load/update) and the
+  in-process :class:`~repro.io.server.ModelServer` query layer.
 """
 
 from repro.core.config import ModelConfig
@@ -27,12 +29,27 @@ from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # ModelServer / persistence live in repro.io, which imports repro.core;
+    # exposing them lazily keeps the package import graph acyclic.
+    if name in ("ModelServer", "PersistError", "load_model", "save_model"):
+        from repro import io as _io
+
+        return getattr(_io, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ModelConfig",
     "ModelResult",
+    "ModelServer",
+    "PersistError",
     "Scenario",
     "ScenarioConfig",
     "TrafficPatternModel",
     "generate_scenario",
+    "load_model",
+    "save_model",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Three subcommands cover the everyday workflow without writing Python:
+Five subcommands cover the everyday workflow without writing Python:
 
 ``repro-traffic generate``
     Generate a synthetic scenario and write the raw trace (records CSV) plus
@@ -9,12 +9,27 @@ Three subcommands cover the everyday workflow without writing Python:
 ``repro-traffic fit``
     Fit the traffic-pattern model either on a previously generated trace
     (``--trace``/``--stations``) or on a fresh synthetic scenario, print the
-    Table-1 style summary and optionally export per-tower cluster/region
-    assignments as CSV.
+    Table-1 style summary, optionally export per-tower cluster/region
+    assignments as CSV and persist the fitted model (``--save``).
+
+``repro-traffic update``
+    Fold a fresh trace — typically one new day of records — into a persisted
+    model bundle without refitting from zero: the new records are
+    scatter-added onto the stored aggregate grid and only the pipeline
+    stages whose inputs changed are re-run.
+
+``repro-traffic query``
+    Answer summary / decomposition / region / pattern queries from a
+    persisted model bundle, without any fitting at all.
 
 ``repro-traffic decompose``
-    Fit on a fresh synthetic scenario and print the convex decomposition of
-    one or more towers onto the four primary components.
+    Print the convex decomposition of one or more towers onto the primary
+    components, either from a persisted bundle (``--model``) or by fitting
+    first (trace or fresh synthetic scenario).
+
+Operational failures — a missing input file, a corrupt or
+version-mismatched model bundle — exit with code 2 and a path-qualified
+one-line message on stderr instead of a traceback.
 
 Run ``repro-traffic <subcommand> --help`` for the full option list.
 """
@@ -38,10 +53,24 @@ from repro.ingest.loader import (
 )
 from repro.ingest.preprocess import preprocess_trace
 from repro.ingest.records import BaseStationInfo
+from repro.io.persist import PersistError
+from repro.io.server import ModelServer
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 from repro.utils.timeutils import TimeWindow
-from repro.viz.export import export_rows_csv
+from repro.viz.export import export_json, export_rows_csv
 from repro.viz.tables import format_table
+
+
+class CLIError(RuntimeError):
+    """An operational CLI failure reported as a one-line message (exit 2)."""
+
+
+def _require_file(path: str, what: str) -> Path:
+    """Return ``path`` as a :class:`Path`, failing with a one-liner if absent."""
+    resolved = Path(path)
+    if not resolved.is_file():
+        raise CLIError(f"{resolved}: {what} not found")
+    return resolved
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -98,6 +127,8 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
     if args.trace:
         if not args.stations:
             raise SystemExit("--stations is required when --trace is given")
+        _require_file(args.trace, "trace file")
+        _require_file(args.stations, "stations file")
         stations = read_stations_csv(args.stations)
         tower_ids = [station.tower_id for station in stations]
         window = TimeWindow(num_days=args.days)
@@ -163,31 +194,19 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             )
         export_rows_csv(assignment_rows, args.assignments)
         print(f"\nwrote per-tower assignments to {args.assignments}")
+
+    if getattr(args, "save", None):
+        bundle = model.save(args.save)
+        print(f"\nsaved model bundle to {bundle}")
     return 0
 
 
-def _cmd_decompose(args: argparse.Namespace) -> int:
-    model, scenario = _fit_model(args)
-    result = model.result
+def _print_decompositions(result, decompositions) -> None:
+    """Print the table of ``(tower_id, ConvexDecomposition)`` pairs."""
     if result.representatives is None:
         raise SystemExit("not enough clusters to build primary components")
-
-    tower_ids = args.tower_ids
-    if not tower_ids:
-        # Default: the first few towers of the comprehensive cluster (or of
-        # cluster 0 when no labelling is available).
-        from repro.synth.regions import RegionType
-
-        try:
-            cluster = result.cluster_of_region(RegionType.COMPREHENSIVE)
-        except KeyError:
-            cluster = 0
-        members = result.cluster_members(cluster)[: args.count]
-        tower_ids = [int(result.tower_ids[row]) for row in members]
-
     rows = []
-    for tower_id in tower_ids:
-        decomposition = model.decompose(int(tower_id))
+    for tower_id, decomposition in decompositions:
         coefficients = decomposition.as_dict()
         row = [tower_id]
         for label in sorted(coefficients):
@@ -199,6 +218,169 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         for label in sorted(result.representatives.cluster_labels.tolist())
     ]
     print(format_table(["tower", *component_names, "residual"], rows))
+
+
+def _default_decompose_towers(model: TrafficPatternModel, count: int) -> list[int]:
+    """The first few towers of the comprehensive cluster (or of cluster 0)."""
+    from repro.synth.regions import RegionType
+
+    result = model.result
+    try:
+        cluster = result.cluster_of_region(RegionType.COMPREHENSIVE)
+    except KeyError:
+        cluster = 0
+    members = result.cluster_members(cluster)[:count]
+    return [int(result.tower_ids[row]) for row in members]
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.model:
+        # Serve the decomposition from a persisted bundle — no refit.
+        model = TrafficPatternModel.load(args.model)
+    else:
+        model, _ = _fit_model(args)
+    if model.result.representatives is None:
+        raise SystemExit("not enough clusters to build primary components")
+
+    tower_ids = args.tower_ids
+    if not tower_ids:
+        tower_ids = _default_decompose_towers(model, args.count)
+
+    def solve_all():
+        return [(int(t), model.decompose(int(t))) for t in tower_ids]
+
+    decompositions = _served(args.model, solve_all) if args.model else solve_all()
+    _print_decompositions(model.result, decompositions)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    model = TrafficPatternModel.load(args.model)
+    window = model.result.window
+    trace_path = _require_file(args.input, "input trace")
+
+    def cleaned_batches():
+        if args.chunk_size:
+            chunks = iter_record_batches_csv(trace_path, chunk_size=args.chunk_size)
+        else:
+            chunks = [read_record_batch_csv(trace_path)]
+        for batch in chunks:
+            cleaned, _ = clean_batch(batch)
+            yield cleaned
+
+    result = model.update(cleaned_batches())
+    stats = result.extras.get("update_stats", {})
+    seen = stats.get("records_seen", 0)
+    folded = stats.get("records_folded", 0)
+    if seen and not folded:
+        # Every record missed the stored grid — saving would silently
+        # pretend the update happened.
+        raise CLIError(
+            f"{trace_path}: none of the {seen:,} clean records fall inside the "
+            f"model's {window.num_days}-day window and tower grid; model left "
+            "unchanged (the observation window is fixed at fit time)"
+        )
+    save_path = args.save or args.model
+    bundle = model.save(save_path)
+
+    dropped = seen - folded
+    suffix = f" ({dropped:,} outside the window/tower grid)" if dropped else ""
+    print(
+        f"folded {folded:,} of {seen:,} clean records into the "
+        f"{window.num_days}-day model{suffix}"
+    )
+    reused = result.extras.get("stages_reused", [])
+    stage_names = list(result.extras.get("stage_timings", {}))
+    skipped = set(result.extras.get("stages_skipped", ()))
+    rerun = [
+        name
+        for name in stage_names
+        if name not in reused and name not in skipped
+    ]
+    print(f"stages re-run: {', '.join(rerun) if rerun else '<none>'}")
+    print(f"stages reused: {', '.join(reused) if reused else '<none>'}")
+    print(f"identified {result.num_clusters} traffic patterns")
+    print(f"saved updated model bundle to {bundle}")
+    return 0
+
+
+def _served(model_path: str, fn):
+    """Run one query, converting domain errors to path-qualified CLI errors."""
+    try:
+        return fn()
+    except (KeyError, RuntimeError) as err:
+        message = err.args[0] if err.args else str(err)
+        raise CLIError(f"{model_path}: {message}") from None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    server = ModelServer.from_artifact(args.model)
+    result = server.result
+    payload: dict[str, object] = {}
+    explicit = bool(args.decompose or args.region or args.pattern)
+
+    if args.summary or not explicit:
+        rows = result.percentage_table()
+        print(f"{result.num_clusters} traffic patterns "
+              f"({result.vectorized.num_towers} towers, {result.window.num_days} days)")
+        print(format_table(
+            ["cluster", "region", "%"],
+            [[row["cluster"], row["region"], row["percentage"]] for row in rows],
+        ))
+        if args.json:
+            payload["summary"] = rows
+
+    if args.decompose:
+        decompositions = [
+            (int(t), _served(args.model, lambda t=t: server.decompose(int(t))))
+            for t in args.decompose
+        ]
+        print()
+        _served(args.model, lambda: _print_decompositions(result, decompositions))
+        if args.json:
+            payload["decompositions"] = [
+                {
+                    "tower_id": tower_id,
+                    "coefficients": {
+                        str(k): v for k, v in decomposition.as_dict().items()
+                    },
+                    "residual": decomposition.residual,
+                }
+                for tower_id, decomposition in decompositions
+            ]
+
+    if args.region:
+        rows = []
+        for tower_id in args.region:
+            region = _served(args.model, lambda t=tower_id: server.predict_region(int(t)))
+            rows.append([int(tower_id), region.value])
+        print()
+        print(format_table(["tower", "region"], rows))
+        if args.json:
+            payload["regions"] = [
+                {"tower_id": row[0], "region": row[1]} for row in rows
+            ]
+
+    if args.pattern:
+        pattern_rows = [
+            _served(args.model, lambda t=tower_id: server.pattern_of(int(t)).as_row())
+            for tower_id in args.pattern
+        ]
+        print()
+        print(format_table(
+            ["tower", "cluster", "region", "total bytes", "peak slot"],
+            [
+                [row["tower_id"], row["cluster"], row["region"],
+                 f"{row['total_bytes']:,.0f}", row["peak_slot"]]
+                for row in pattern_rows
+            ],
+        ))
+        if args.json:
+            payload["patterns"] = pattern_rows
+
+    if args.json:
+        export_json(payload, args.json)
+        print(f"\nwrote query results to {args.json}")
     return 0
 
 
@@ -240,10 +422,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true", help="print per-stage wall-clock timings"
     )
     fit.add_argument("--assignments", help="write per-tower assignments to this CSV")
+    fit.add_argument(
+        "--save",
+        help="persist the fitted model as a bundle directory (NPZ arrays + "
+        "JSON manifest) usable by 'update', 'query' and 'decompose --model'",
+    )
     fit.set_defaults(handler=_cmd_fit)
+
+    update = subparsers.add_parser(
+        "update",
+        help="fold a fresh trace into a persisted model without a full refit",
+    )
+    update.add_argument("--model", required=True, help="model bundle written by 'fit --save'")
+    update.add_argument(
+        "--input", "--trace", dest="input", required=True,
+        help="records CSV with the new traffic (e.g. one fresh day)",
+    )
+    update.add_argument(
+        "--save",
+        help="where to write the updated bundle (default: overwrite --model)",
+    )
+    update.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="stream the new trace in chunks of this many records "
+        "(0 loads it whole)",
+    )
+    update.set_defaults(handler=_cmd_update)
+
+    query = subparsers.add_parser(
+        "query", help="answer queries from a persisted model bundle (no fitting)"
+    )
+    query.add_argument("--model", required=True, help="model bundle written by 'fit --save'")
+    query.add_argument(
+        "--summary", action="store_true",
+        help="print the Table-1 cluster summary (default when no other query is given)",
+    )
+    query.add_argument(
+        "--decompose", type=int, nargs="+", metavar="TOWER",
+        help="convex decomposition of these towers",
+    )
+    query.add_argument(
+        "--region", type=int, nargs="+", metavar="TOWER",
+        help="predicted functional region of these towers",
+    )
+    query.add_argument(
+        "--pattern", type=int, nargs="+", metavar="TOWER",
+        help="full pattern record (cluster, region, volume, peak) of these towers",
+    )
+    query.add_argument("--json", help="also write the query results to this JSON file")
+    query.set_defaults(handler=_cmd_query)
 
     decompose = subparsers.add_parser(
         "decompose", help="convex decomposition of towers onto the primary components"
+    )
+    decompose.add_argument(
+        "--model",
+        help="serve the decomposition from this persisted bundle instead of "
+        "re-fitting (trace/scenario options are ignored)",
     )
     _add_scenario_arguments(decompose)
     decompose.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
@@ -275,10 +512,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Operational failures (missing files, corrupt or version-mismatched model
+    bundles) exit with code 2 and a single path-qualified line on stderr.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.handler(args))
+    try:
+        return int(args.handler(args))
+    except (CLIError, PersistError) as err:
+        print(f"repro-traffic: error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.core.pipeline import (
     PipelineContext,
     PipelineError,
     PipelineStage,
+    StageCache,
     StageTiming,
     timings_as_dict,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "PipelineContext",
     "PipelineError",
     "PipelineStage",
+    "StageCache",
     "StageTiming",
     "TrafficPatternModel",
     "default_stages",

@@ -19,14 +19,23 @@ composable stages (:mod:`repro.core.stages`):
 
 Override :meth:`TrafficPatternModel.build_pipeline` (or assemble a
 :class:`~repro.core.pipeline.Pipeline` directly) to skip or replace stages.
+
+Fitted models persist as on-disk bundles (:meth:`TrafficPatternModel.save` /
+:meth:`TrafficPatternModel.load`, format in :mod:`repro.io.persist`) and
+refresh incrementally: :meth:`TrafficPatternModel.update` scatter-adds new
+record batches onto the stored slot grid and re-runs only the stages whose
+input fingerprints changed.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.config import ModelConfig
-from repro.core.pipeline import Pipeline, PipelineContext, timings_as_dict
+from repro.core.pipeline import Pipeline, PipelineContext, StageCache, timings_as_dict
 from repro.core.results import ModelResult
 from repro.core.stages import default_stages
 from repro.decompose.convex import ConvexDecomposition, decompose_features
@@ -36,7 +45,7 @@ from repro.synth.city import CityModel
 from repro.synth.regions import RegionType
 from repro.synth.traffic import TowerTrafficMatrix
 from repro.utils.timeutils import TimeWindow
-from repro.vectorize.aggregate import aggregate_batches
+from repro.vectorize.aggregate import aggregate_batches, scatter_batch_into
 
 
 class TrafficPatternModel:
@@ -161,6 +170,126 @@ class TrafficPatternModel:
         matrix = aggregate_batches(batches, window, tower_ids)
         return self.fit(matrix, city=city)
 
+    # ------------------------------------------------------------------
+    # Persistence and incremental updates
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the fitted model as an on-disk bundle (NPZ + manifest).
+
+        The bundle round-trips bit-for-bit: :meth:`load` reconstructs a
+        model answering every query identically.  See
+        :mod:`repro.io.persist` for the format.
+        """
+        from repro.io.persist import save_model
+
+        return save_model(self.result, self.config, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> TrafficPatternModel:
+        """Reconstruct a fitted model from a bundle written by :meth:`save`.
+
+        The returned model carries the persisted configuration and result;
+        queries (:meth:`decompose`, :meth:`predict_region`, …) work
+        immediately, and :meth:`update` folds new traffic in without
+        refitting from zero.
+        """
+        from repro.io.persist import load_model
+
+        loaded = load_model(path)
+        model = cls(loaded.config)
+        model._result = loaded.result
+        return model
+
+    def update(
+        self,
+        batches: RecordBatch | Iterable[RecordBatch],
+        *,
+        city: CityModel | None = None,
+    ) -> ModelResult:
+        """Fold new record batches into the fitted model (incremental fit).
+
+        The new batches — typically one fresh day of cleaned traces — are
+        scatter-added onto the existing aggregate slot grid, continuing the
+        exact accumulation sequence a full re-aggregation of the
+        concatenated trace would perform, so the merged matrix (and every
+        downstream cut, on tie-free distances) is bit-for-bit identical to a
+        full refit.  Only the downstream stages whose input fingerprints
+        changed are re-run; unchanged stages republish their previous
+        outputs (``extras["stages_reused"]`` lists them).
+
+        Towers absent from the stored grid are ignored and the observation
+        window is fixed at fit time — records starting past its end
+        contribute nothing.  ``extras["update_stats"]`` on the returned
+        result reports how many of the incoming records actually landed on
+        the grid, so callers can detect a trace that silently missed the
+        window entirely.  Like :meth:`fit_batches`, each batch must already
+        be cleaned (:func:`repro.ingest.dedup.clean_batch`).  A city is only
+        needed to recompute POI profiles from scratch; when omitted, the
+        persisted POI profile re-labels the fresh cluster cut.
+        """
+        result = self.result
+        base = result.vectorized.raw
+        if isinstance(batches, RecordBatch):
+            batches = [batches]
+        merged = TowerTrafficMatrix(
+            tower_ids=base.tower_ids.copy(),
+            traffic=base.traffic.copy(),
+            window=base.window,
+        )
+        records_seen = 0
+        records_folded = 0
+        window_end = float(merged.window.num_seconds)
+        for batch in batches:
+            records_seen += len(batch)
+            contributes = np.isin(batch.tower_id, merged.tower_ids)
+            contributes &= batch.start_s < window_end
+            records_folded += int(np.count_nonzero(contributes))
+            scatter_batch_into(merged, batch)
+
+        context = PipelineContext(config=self.config, traffic=merged, city=city)
+        if city is None and result.poi_profile is not None:
+            context.set("poi_profile_prior", result.poi_profile, producer="resume")
+        context.reuse = self._resume_caches(result)
+        updated = self._run_pipeline(context)
+        updated.extras["update_stats"] = {
+            "records_seen": records_seen,
+            "records_folded": records_folded,
+        }
+        return updated
+
+    def _resume_caches(self, result: ModelResult) -> dict[str, StageCache]:
+        """Rebuild per-stage output caches from a previous result.
+
+        Keyed by the input fingerprints the previous run recorded; a stage
+        whose inputs have not changed republishes these outputs instead of
+        recomputing.
+        """
+        fingerprints = result.extras.get("stage_fingerprints", {})
+        outputs_by_stage: dict[str, dict] = {
+            "vectorize": {"vectorized": result.vectorized},
+            "cluster": {"dendrogram": result.clustering.dendrogram},
+            "tune": {
+                "clustering": result.clustering,
+                "tuning_curve": result.tuning_curve,
+            },
+            "spectral": {
+                "components": result.components,
+                "frequency_features": result.frequency_features,
+            },
+            "decompose": {"representatives": result.representatives},
+        }
+        if result.labeling is not None and result.poi_profile is not None:
+            outputs_by_stage["label"] = {
+                "poi_profile": result.poi_profile,
+                "labeling": result.labeling,
+            }
+        return {
+            name: StageCache(fingerprint=fingerprints[name], outputs=outputs)
+            for name, outputs in outputs_by_stage.items()
+            if name in fingerprints
+        }
+
     def _run_pipeline(self, context: PipelineContext) -> ModelResult:
         """Run the assembled pipeline and collect the :class:`ModelResult`."""
         self.build_pipeline().run(context)
@@ -179,6 +308,8 @@ class TrafficPatternModel:
                 "decomposition_feature": self.config.decomposition_feature,
                 "stage_timings": timings_as_dict(context.timings),
                 "stages_skipped": [t.name for t in context.timings if t.skipped],
+                "stages_reused": [t.name for t in context.timings if t.reused],
+                "stage_fingerprints": dict(context.fingerprints),
             },
         )
         return self._result

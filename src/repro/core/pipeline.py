@@ -11,7 +11,14 @@ deliberately small:
 * the **runner** records per-stage wall-clock timings, honours a stage's
   optional ``should_run`` predicate (e.g. labelling is skipped without a
   city), and supports skip/override hooks so callers can swap a single stage
-  without re-implementing the whole fit.
+  without re-implementing the whole fit;
+* runs are **resumable**: a stage may define
+  ``fingerprint(context) -> str | None`` digesting its inputs.  The runner
+  records every digest in ``context.fingerprints``, and when the context is
+  seeded with :class:`StageCache` entries (digest + outputs of a previous
+  run, e.g. from a persisted model bundle) a stage whose current digest
+  matches the cached one republishes the cached outputs instead of
+  recomputing — the machinery behind cheap day-over-day model updates.
 
 Everything is synchronous and in-process; the value is the seam it creates —
 caching, batching or distributing a stage later means wrapping one object,
@@ -52,6 +59,8 @@ class PipelineContext:
         self.traffic = traffic
         self.city = city
         self.timings: list[StageTiming] = []
+        self.reuse: dict[str, StageCache] = {}
+        self.fingerprints: dict[str, str] = {}
         self._artifacts: dict[str, Any] = {}
         self._producers: dict[str, str] = {}
 
@@ -121,11 +130,32 @@ class PipelineStage(Protocol):
 
 @dataclass(frozen=True)
 class StageTiming:
-    """Wall-clock record of one stage execution."""
+    """Wall-clock record of one stage execution.
+
+    ``skipped`` marks stages the runner never executed (skip set or a false
+    ``should_run``); ``reused`` marks stages whose input fingerprint matched
+    a seeded :class:`StageCache`, so their cached outputs were republished
+    without recomputation.
+    """
 
     name: str
     seconds: float
     skipped: bool = False
+    reused: bool = False
+
+
+@dataclass(frozen=True)
+class StageCache:
+    """Outputs of one previous stage run, keyed by its input fingerprint.
+
+    Seed ``context.reuse[stage_name]`` with these (typically rebuilt from a
+    persisted :class:`~repro.core.results.ModelResult`) to make a run
+    resumable: a stage whose current ``fingerprint(context)`` equals
+    :attr:`fingerprint` republishes :attr:`outputs` verbatim.
+    """
+
+    fingerprint: str
+    outputs: Mapping[str, Any]
 
 
 class Pipeline:
@@ -183,8 +213,15 @@ class Pipeline:
         )
 
     def run(self, context: PipelineContext) -> PipelineContext:
-        """Execute every stage in order, recording per-stage timings."""
+        """Execute every stage in order, recording per-stage timings.
+
+        Stages defining ``fingerprint(context)`` have their input digest
+        recorded in ``context.fingerprints``; when the digest matches a
+        seeded ``context.reuse`` entry the cached outputs are republished
+        and the stage is recorded as reused instead of being executed.
+        """
         context.timings = []
+        context.fingerprints = {}
         for declared in self.stages:
             stage = self.overrides.get(declared.name, declared)
             should_run = getattr(stage, "should_run", None)
@@ -192,6 +229,16 @@ class Pipeline:
                 should_run is not None and not should_run(context)
             ):
                 context.timings.append(StageTiming(stage.name, 0.0, skipped=True))
+                continue
+            fingerprint_fn = getattr(stage, "fingerprint", None)
+            digest = fingerprint_fn(context) if fingerprint_fn is not None else None
+            if digest is not None:
+                context.fingerprints[declared.name] = digest
+            cache = context.reuse.get(declared.name)
+            if cache is not None and digest is not None and cache.fingerprint == digest:
+                for key, value in cache.outputs.items():
+                    context.set(key, value, producer=stage.name)
+                context.timings.append(StageTiming(stage.name, 0.0, reused=True))
                 continue
             start = time.perf_counter()
             stage.run(context)

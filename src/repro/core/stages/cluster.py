@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.cluster.hierarchical import AgglomerativeClustering
 from repro.core.pipeline import PipelineContext
+from repro.utils.fingerprint import fingerprint
 
 
 class ClusterStage:
@@ -15,6 +16,16 @@ class ClusterStage:
     """
 
     name = "cluster"
+
+    def fingerprint(self, context: PipelineContext) -> str | None:
+        """Digest of the normalised vectors + linkage/backend choice."""
+        vectorized = context.get("vectorized")
+        if vectorized is None:
+            return None
+        cfg = context.config
+        return fingerprint(
+            vectorized.vectors, cfg.linkage.value, cfg.cluster_backend
+        )
 
     def run(self, context: PipelineContext) -> None:
         cfg = context.config

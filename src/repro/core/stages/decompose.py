@@ -12,6 +12,7 @@ from repro.decompose.representative import (
 )
 from repro.geo.labeling import ClusterLabeling
 from repro.synth.regions import RegionType
+from repro.utils.fingerprint import fingerprint
 
 
 def pure_cluster_labels(
@@ -37,6 +38,30 @@ class DecomposeStage:
     """Select each pure cluster's most representative tower (decomposition basis)."""
 
     name = "decompose"
+
+    def fingerprint(self, context: PipelineContext) -> str | None:
+        """Digest of the frequency features, cut, labelling and feature spec."""
+        frequency_features = context.get("frequency_features")
+        clustering = context.get("clustering")
+        if frequency_features is None or clustering is None:
+            return None
+        labeling = context.get("labeling")
+        labeling_part = (
+            None
+            if labeling is None
+            else tuple(
+                (int(label), region.value)
+                for label, region in zip(labeling.cluster_labels, labeling.region_types)
+            )
+        )
+        return fingerprint(
+            frequency_features.amplitudes,
+            frequency_features.phases,
+            frequency_features.tower_ids,
+            clustering.labels,
+            labeling_part,
+            context.config.decomposition_feature,
+        )
 
     def run(self, context: PipelineContext) -> None:
         cfg = context.config

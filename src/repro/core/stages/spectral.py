@@ -5,12 +5,26 @@ from __future__ import annotations
 from repro.core.pipeline import PipelineContext
 from repro.spectral.components import principal_components_for_window
 from repro.spectral.features import extract_frequency_features
+from repro.utils.fingerprint import fingerprint
 
 
 class SpectralStage:
     """Extract amplitude/phase features at the principal frequency components."""
 
     name = "spectral"
+
+    def fingerprint(self, context: PipelineContext) -> str | None:
+        """Digest of the raw traffic + window + feature normalisation."""
+        traffic = context.traffic
+        if traffic is None:
+            return None
+        return fingerprint(
+            traffic.traffic,
+            traffic.tower_ids,
+            traffic.window.num_days,
+            traffic.window.start_weekday,
+            context.config.feature_normalization.value,
+        )
 
     def run(self, context: PipelineContext) -> None:
         traffic = context.traffic

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.cluster.hierarchical import ClusteringResult
 from repro.cluster.tuner import MetricTuner, TuningCurve
 from repro.core.pipeline import PipelineContext
+from repro.utils.fingerprint import fingerprint
 
 
 class TuneStage:
@@ -12,6 +13,23 @@ class TuneStage:
     optimum — and publish the resulting :class:`ClusteringResult`."""
 
     name = "tune"
+
+    def fingerprint(self, context: PipelineContext) -> str | None:
+        """Digest of the dendrogram + cut-selection configuration."""
+        dendrogram = context.get("dendrogram")
+        vectorized = context.get("vectorized")
+        if dendrogram is None or vectorized is None:
+            return None
+        cfg = context.config
+        return fingerprint(
+            dendrogram.merges,
+            dendrogram.num_observations,
+            vectorized.vectors,
+            cfg.num_clusters,
+            cfg.validity_index,
+            cfg.min_clusters,
+            cfg.max_clusters,
+        )
 
     def run(self, context: PipelineContext) -> None:
         cfg = context.config

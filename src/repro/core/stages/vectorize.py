@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.pipeline import PipelineContext
+from repro.utils.fingerprint import fingerprint
 from repro.utils.timeutils import TimeWindow
 from repro.vectorize.vectorizer import TrafficVectorizer
 
@@ -19,6 +20,19 @@ class VectorizeStage:
     """
 
     name = "vectorize"
+
+    def fingerprint(self, context: PipelineContext) -> str | None:
+        """Digest of the input matrix + normalisation (matrix path only)."""
+        traffic = context.traffic
+        if traffic is None:
+            return None
+        return fingerprint(
+            traffic.traffic,
+            traffic.tower_ids,
+            traffic.window.num_days,
+            traffic.window.start_weekday,
+            context.config.normalization.value,
+        )
 
     def run(self, context: PipelineContext) -> None:
         vectorizer = TrafficVectorizer(method=context.config.normalization)

@@ -1,0 +1,34 @@
+"""Persistence and serving plane of the traffic-pattern model.
+
+* :mod:`repro.io.persist` — versioned on-disk model bundles (NPZ arrays +
+  JSON manifest) with bit-for-bit :func:`~repro.io.persist.save_model` /
+  :func:`~repro.io.persist.load_model` round-trips;
+* :mod:`repro.io.server` — the in-process :class:`~repro.io.server.ModelServer`
+  answering decompose / region / summary / pattern queries against a fitted
+  or loaded model without re-running the fit.
+"""
+
+from repro.io.persist import (
+    ARRAYS_NAME,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    LoadedModel,
+    PersistError,
+    load_model,
+    read_manifest,
+    save_model,
+)
+from repro.io.server import ModelServer, TowerPattern
+
+__all__ = [
+    "ARRAYS_NAME",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "LoadedModel",
+    "ModelServer",
+    "PersistError",
+    "TowerPattern",
+    "load_model",
+    "read_manifest",
+    "save_model",
+]

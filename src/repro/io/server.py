@@ -1,0 +1,163 @@
+"""In-process query server over a fitted (or loaded) traffic-pattern model.
+
+The paper's workflow is fit-once / query-many: a model fitted on weeks of
+traces is interrogated repeatedly for cluster summaries, convex
+decompositions and region predictions.  :class:`ModelServer` is the serving
+seam for that workflow — it wraps a :class:`~repro.core.model.TrafficPatternModel`
+(freshly fitted, or loaded from a :mod:`repro.io.persist` bundle) and
+answers every query without ever re-running the fit, memoising the
+per-tower decompositions (the only non-trivial per-query computation) and
+keeping simple serving statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import TrafficPatternModel
+from repro.core.results import ClusterSummary, ModelResult
+from repro.decompose.convex import ConvexDecomposition
+from repro.synth.regions import RegionType
+
+
+@dataclass
+class TowerPattern:
+    """Everything the server knows about one tower's traffic pattern."""
+
+    tower_id: int
+    cluster: int
+    region: RegionType | None
+    raw_series: np.ndarray
+    normalized_vector: np.ndarray
+
+    def as_row(self) -> dict[str, object]:
+        """Return a flat JSON/CSV-friendly summary row."""
+        return {
+            "tower_id": self.tower_id,
+            "cluster": self.cluster + 1,
+            "region": self.region.value if self.region else "unlabelled",
+            "total_bytes": float(self.raw_series.sum()),
+            "peak_slot": int(np.argmax(self.raw_series)),
+        }
+
+
+class ModelServer:
+    """Serve decompose / region / summary / pattern queries from one model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`TrafficPatternModel` (``fit`` already called, or
+        constructed via :meth:`TrafficPatternModel.load`).
+
+    Example
+    -------
+    >>> server = ModelServer.from_artifact("model_bundle")  # doctest: +SKIP
+    >>> server.predict_region(42)                           # doctest: +SKIP
+    <RegionType.OFFICE: 'office'>
+    """
+
+    def __init__(self, model: TrafficPatternModel) -> None:
+        self._model = model
+        self._result = model.result  # fail fast when not fitted
+        self._decompose_cache: dict[int, ConvexDecomposition] = {}
+        self._queries = 0
+        self._cache_hits = 0
+
+    @classmethod
+    def from_artifact(cls, path: str | Path) -> "ModelServer":
+        """Open a persisted model bundle and serve queries against it."""
+        return cls(TrafficPatternModel.load(path))
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def model(self) -> TrafficPatternModel:
+        """The wrapped model."""
+        return self._model
+
+    @property
+    def result(self) -> ModelResult:
+        """The underlying fit result."""
+        return self._result
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of identified traffic patterns."""
+        return self._result.num_clusters
+
+    def tower_ids(self) -> list[int]:
+        """Return every tower id the model can answer queries for."""
+        return [int(tower_id) for tower_id in self._result.tower_ids]
+
+    # -- queries -------------------------------------------------------
+
+    def summaries(self) -> list[ClusterSummary]:
+        """Return one :class:`ClusterSummary` per identified pattern."""
+        self._queries += 1
+        return self._result.summaries()
+
+    def cluster_summary(self, cluster_label: int) -> ClusterSummary:
+        """Return the summary of one cluster.
+
+        Raises
+        ------
+        KeyError
+            If ``cluster_label`` does not name an identified pattern.
+        """
+        self._queries += 1
+        if not 0 <= cluster_label < self._result.num_clusters:
+            raise KeyError(
+                f"cluster {cluster_label} not identified "
+                f"(have 0..{self._result.num_clusters - 1})"
+            )
+        return self._result.summaries()[cluster_label]
+
+    def decompose(self, tower_id: int) -> ConvexDecomposition:
+        """Return the convex decomposition of one tower (memoised)."""
+        self._queries += 1
+        key = int(tower_id)
+        cached = self._decompose_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        decomposition = self._model.decompose(key)
+        self._decompose_cache[key] = decomposition
+        return decomposition
+
+    def predict_region(self, tower_id: int) -> RegionType:
+        """Return the urban functional region inferred for one tower."""
+        self._queries += 1
+        return self._model.predict_region(int(tower_id))
+
+    def pattern_of(self, tower_id: int) -> TowerPattern:
+        """Return the full pattern record of one tower."""
+        self._queries += 1
+        result = self._result
+        row = result.vectorized.row_of(int(tower_id))
+        cluster = int(result.labels[row])
+        return TowerPattern(
+            tower_id=int(tower_id),
+            cluster=cluster,
+            region=result.region_of_cluster(cluster),
+            raw_series=result.vectorized.raw.traffic[row],
+            normalized_vector=result.vectorized.vectors[row],
+        )
+
+    # -- serving statistics --------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Return cumulative serving counters."""
+        return {
+            "queries": self._queries,
+            "decompose_cache_hits": self._cache_hits,
+            "decompose_cache_size": len(self._decompose_cache),
+        }
+
+    def invalidate(self) -> None:
+        """Drop memoised query results (call after updating the model)."""
+        self._result = self._model.result
+        self._decompose_cache.clear()

@@ -148,6 +148,32 @@ def aggregate_batches(
     return TowerTrafficMatrix(tower_ids=ordered, traffic=traffic, window=window)
 
 
+def scatter_batch_into(
+    matrix: TowerTrafficMatrix,
+    batch: RecordBatch,
+    *,
+    split_across_slots: bool = True,
+) -> TowerTrafficMatrix:
+    """Scatter-add one record batch into an *existing* traffic matrix, in place.
+
+    This is the incremental-update primitive: folding a fresh day of cleaned
+    records into a previously aggregated matrix continues the exact
+    accumulation sequence :func:`aggregate_batches` would have performed had
+    the new batch been part of the original stream — ``np.add.at`` applies
+    additions in record-then-slot order, so the result is bit-for-bit
+    identical to a full re-aggregation of the concatenated trace.  Towers in
+    the batch that have no row in ``matrix`` are ignored (same semantics as
+    the explicit ``tower_ids`` path of :func:`aggregate_batch`).
+
+    The matrix is mutated and also returned for chaining.  Callers that need
+    the original intact should pass a copy.
+    """
+    _scatter_batch(
+        batch, matrix.traffic, matrix.tower_ids, split_across_slots=split_across_slots
+    )
+    return matrix
+
+
 def aggregate_records(
     records: Iterable[TrafficRecord],
     window: TimeWindow,

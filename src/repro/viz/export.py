@@ -1,12 +1,38 @@
-"""CSV export of benchmark outputs (rows and series)."""
+"""CSV/JSON export of reports, benchmark outputs and query results."""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder accepting NumPy scalars and arrays transparently."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def export_json(payload: Any, path: str | Path) -> Path:
+    """Write a JSON document (NumPy values allowed); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, cls=_NumpyJSONEncoder) + "\n"
+    )
+    return path
 
 
 def export_rows_csv(

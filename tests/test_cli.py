@@ -192,3 +192,282 @@ class TestDecompose:
         assert exit_code == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 2 + 2  # header + separator + two towers
+
+
+class TestPersistCLI:
+    @pytest.fixture()
+    def saved_bundle(self, tmp_path):
+        """A small labelled model fitted on a synthetic scenario and saved."""
+        bundle = tmp_path / "bundle"
+        exit_code = main(
+            [
+                "fit",
+                "--towers", "40",
+                "--users", "80",
+                "--days", "7",
+                "--seed", "11",
+                "--clusters", "5",
+                "--save", str(bundle),
+            ]
+        )
+        assert exit_code == 0
+        return bundle
+
+    def test_fit_save_writes_bundle(self, saved_bundle, capsys):
+        assert (saved_bundle / "manifest.json").is_file()
+        assert (saved_bundle / "arrays.npz").is_file()
+
+    def test_query_summary(self, saved_bundle, capsys):
+        capsys.readouterr()
+        assert main(["query", "--model", str(saved_bundle)]) == 0
+        output = capsys.readouterr().out
+        assert "5 traffic patterns" in output
+        assert "cluster" in output and "region" in output
+
+    def test_query_region_decompose_pattern_and_json(self, saved_bundle, tmp_path, capsys):
+        capsys.readouterr()
+        json_path = tmp_path / "queries.json"
+        exit_code = main(
+            [
+                "query",
+                "--model", str(saved_bundle),
+                "--region", "0", "1",
+                "--decompose", "0",
+                "--pattern", "0",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "residual" in output
+        assert "peak slot" in output
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert {"regions", "decompositions", "patterns"} <= set(payload)
+        assert payload["regions"][0]["tower_id"] == 0
+
+    def test_decompose_from_saved_model(self, saved_bundle, capsys):
+        capsys.readouterr()
+        exit_code = main(
+            ["decompose", "--model", str(saved_bundle), "--tower-ids", "0", "1"]
+        )
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 + 2  # header + separator + two towers
+
+    def test_update_folds_new_trace_and_saves(self, saved_bundle, tmp_path, capsys):
+        # Generate a compatible raw trace to fold in (towers overlap).
+        trace_dir = tmp_path / "newday"
+        assert main(
+            [
+                "generate",
+                "--towers", "40",
+                "--users", "30",
+                "--days", "7",
+                "--seed", "12",
+                "--output", str(trace_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        updated = tmp_path / "updated-bundle"
+        exit_code = main(
+            [
+                "update",
+                "--model", str(saved_bundle),
+                "--input", str(trace_dir / "trace.csv"),
+                "--save", str(updated),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "folded" in output and "stages re-run" in output
+        assert (updated / "manifest.json").is_file()
+        assert main(["query", "--model", str(updated)]) == 0
+
+    def test_update_chunked_matches_whole(self, saved_bundle, tmp_path, capsys):
+        # A duplicate-free trace so per-chunk cleaning equals global cleaning
+        # (cross-chunk duplicates are a documented fit/update caveat).
+        import numpy as np
+
+        from repro.ingest.batch import RecordBatch
+        from repro.ingest.loader import write_records_csv
+        from repro.io.persist import load_model
+
+        rng = np.random.default_rng(21)
+        n = 12_000
+        starts = rng.uniform(0, 7 * 86_400.0 - 600.0, size=n)
+        clean = RecordBatch(
+            user_id=np.arange(n),  # unique users: no duplicates or conflicts
+            tower_id=rng.integers(0, 40, size=n),
+            start_s=starts,
+            end_s=starts + rng.exponential(300.0, size=n),
+            bytes_used=rng.lognormal(9.0, 1.0, size=n),
+            network=np.zeros(n, dtype=np.uint8),
+        )
+        trace = tmp_path / "newday.csv"
+        write_records_csv(clean, trace)
+        capsys.readouterr()
+        for save_name, chunk_args in (
+            ("whole", []),
+            ("chunked", ["--chunk-size", "5000"]),
+        ):
+            exit_code = main(
+                [
+                    "update",
+                    "--model", str(saved_bundle),
+                    "--input", str(trace),
+                    "--save", str(tmp_path / save_name),
+                    *chunk_args,
+                ]
+            )
+            assert exit_code == 0
+        assert "folded" in capsys.readouterr().out
+        whole = load_model(tmp_path / "whole").result
+        chunked = load_model(tmp_path / "chunked").result
+        assert np.array_equal(
+            whole.vectorized.raw.traffic, chunked.vectorized.raw.traffic
+        )
+        assert np.array_equal(whole.labels, chunked.labels)
+
+
+class TestCLIErrorPaths:
+    def test_missing_trace_exits_2_with_one_liner(self, tmp_path, capsys):
+        missing = tmp_path / "absent.csv"
+        stations = tmp_path / "stations.csv"
+        stations.write_text("tower_id,address\n0,somewhere\n")
+        exit_code = main(
+            ["fit", "--trace", str(missing), "--stations", str(stations), "--days", "7"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert str(missing) in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_stations_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("user_id,tower_id,start_s,end_s,bytes_used,network\n")
+        exit_code = main(
+            ["fit", "--trace", str(trace), "--stations", str(tmp_path / "nope.csv")]
+        )
+        assert exit_code == 2
+        assert "stations file not found" in capsys.readouterr().err
+
+    def test_query_missing_bundle_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "no-bundle"
+        assert main(["query", "--model", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert str(missing) in err and "error" in err
+
+    def test_query_corrupt_manifest_exits_2(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "manifest.json").write_text("{ definitely not json")
+        (bundle / "arrays.npz").write_bytes(b"")
+        assert main(["query", "--model", str(bundle)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt manifest" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_query_future_schema_exits_2(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.io.persist import SCHEMA_VERSION
+
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "manifest.json").write_text(
+            json_module.dumps(
+                {"format": "repro-traffic-model", "schema_version": SCHEMA_VERSION + 7}
+            )
+        )
+        assert main(["query", "--model", str(bundle)]) == 2
+        assert "newer than the supported version" in capsys.readouterr().err
+
+    def test_update_missing_input_exits_2(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "20",
+                "--users", "40",
+                "--days", "3",
+                "--seed", "2",
+                "--clusters", "3",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["update", "--model", str(bundle), "--input", str(tmp_path / "gone.csv")]
+        )
+        assert exit_code == 2
+        assert "input trace not found" in capsys.readouterr().err
+
+    def test_query_unlabelled_model_region_exits_2(self, tmp_path, capsys):
+        # A model fitted from a bare trace has no geographic labelling.
+        trace_dir = tmp_path / "gen"
+        assert main(
+            [
+                "generate",
+                "--towers", "15",
+                "--users", "40",
+                "--days", "2",
+                "--seed", "4",
+                "--output", str(trace_dir),
+            ]
+        ) == 0
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--trace", str(trace_dir / "trace.csv"),
+                "--stations", str(trace_dir / "stations.csv"),
+                "--days", "2",
+                "--clusters", "3",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", "--model", str(bundle), "--region", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "without geographic labelling" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_update_fully_out_of_window_exits_2(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.ingest.batch import RecordBatch
+        from repro.ingest.loader import write_records_csv
+
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "20",
+                "--users", "40",
+                "--days", "2",
+                "--seed", "2",
+                "--clusters", "3",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        # Every record starts after the model's 2-day window ends.
+        n = 50
+        starts = np.linspace(3 * 86_400.0, 4 * 86_400.0, n)
+        late = RecordBatch(
+            user_id=np.arange(n),
+            tower_id=np.zeros(n, dtype=np.int64),
+            start_s=starts,
+            end_s=starts + 60.0,
+            bytes_used=np.full(n, 1000.0),
+            network=np.zeros(n, dtype=np.uint8),
+        )
+        trace = tmp_path / "late.csv"
+        write_records_csv(late, trace)
+        capsys.readouterr()
+        exit_code = main(["update", "--model", str(bundle), "--input", str(trace)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "window" in err and str(trace) in err
+        assert len(err.strip().splitlines()) == 1

@@ -212,3 +212,80 @@ class TestEmptyLabelGuards:
             result.percentages()
         with pytest.raises(ValueError):
             result.cluster_sizes()
+
+
+class FingerprintedStage(RecordingStage):
+    """Toy stage whose fingerprint is the context's 'knob' artifact."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.run_count = 0
+
+    def fingerprint(self, context):
+        knob = context.get("knob")
+        return None if knob is None else f"digest-{knob}"
+
+    def run(self, context):
+        self.run_count += 1
+        context.set("product", f"{self.name}-of-{context.get('knob')}", producer=self.name)
+
+
+class TestResumableRuns:
+    def make_context(self, **artifacts):
+        context = PipelineContext(config=ModelConfig())
+        for key, value in artifacts.items():
+            context.set(key, value)
+        return context
+
+    def test_fingerprints_recorded(self):
+        stage = FingerprintedStage("s")
+        context = self.make_context(knob=1)
+        Pipeline([stage]).run(context)
+        assert context.fingerprints == {"s": "digest-1"}
+        assert stage.run_count == 1
+
+    def test_matching_cache_republishes_outputs_without_running(self):
+        from repro.core.pipeline import StageCache
+
+        stage = FingerprintedStage("s")
+        context = self.make_context(knob=1)
+        context.reuse = {"s": StageCache("digest-1", {"product": "cached-product"})}
+        Pipeline([stage]).run(context)
+        assert stage.run_count == 0
+        assert context.get("product") == "cached-product"
+        assert context.producer_of("product") == "s"
+        timing = context.timings[0]
+        assert timing.reused and not timing.skipped
+        assert context.fingerprints == {"s": "digest-1"}
+
+    def test_stale_cache_reruns_the_stage(self):
+        from repro.core.pipeline import StageCache
+
+        stage = FingerprintedStage("s")
+        context = self.make_context(knob=2)
+        context.reuse = {"s": StageCache("digest-1", {"product": "cached-product"})}
+        Pipeline([stage]).run(context)
+        assert stage.run_count == 1
+        assert context.get("product") == "s-of-2"
+        assert not context.timings[0].reused
+
+    def test_no_fingerprint_means_no_reuse(self):
+        from repro.core.pipeline import StageCache
+
+        stage = FingerprintedStage("s")
+        context = self.make_context()  # no knob -> fingerprint None
+        context.reuse = {"s": StageCache("digest-1", {"product": "cached-product"})}
+        Pipeline([stage]).run(context)
+        assert stage.run_count == 1
+        assert "s" not in context.fingerprints
+
+    def test_skip_wins_over_reuse(self):
+        from repro.core.pipeline import StageCache
+
+        stage = FingerprintedStage("s")
+        context = self.make_context(knob=1)
+        context.reuse = {"s": StageCache("digest-1", {"product": "cached-product"})}
+        Pipeline([stage], skip={"s"}).run(context)
+        assert stage.run_count == 0
+        assert context.get("product") is None
+        assert context.timings[0].skipped and not context.timings[0].reused
