@@ -1,0 +1,153 @@
+"""Simplex decomposition throughput — per-tower solver vs the batched kernel.
+
+Times the convex-combination decomposition of ``n`` synthetic towers onto
+``k = 4`` representative vertices in both implementations:
+
+* **scalar** — ``simplex_constrained_least_squares`` called once per tower
+  (the reference active-set solver);
+* **batched** — one ``simplex_constrained_least_squares_batch`` call over the
+  whole ``(n × d)`` feature matrix (faces factorised once, all right-hand
+  sides solved together).
+
+Emits a towers/sec table plus a JSON summary and asserts the batched path is
+at least ``BENCH_DECOMPOSE_MIN_SPEEDUP``× faster at every size while agreeing
+with the scalar reference to ≤1e-9 in coefficients and residuals.  The sizes
+are configurable so CI can run a quick smoke while local runs cover the
+100k-tower scale::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_decompose_throughput.py -s
+    BENCH_DECOMPOSE_SIZES=2000 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_decompose_throughput.py -s
+
+At sizes above ``BENCH_DECOMPOSE_SCALAR_CAP`` the scalar path is timed on a
+capped sample and its towers/sec extrapolated (the per-tower cost is
+constant), so the 100k row does not take minutes; the capped rows are marked
+``scalar_sampled`` in the JSON summary.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.decompose.simplex import (
+    simplex_constrained_least_squares,
+    simplex_constrained_least_squares_batch,
+)
+from repro.viz.tables import format_table
+
+SIZES = [int(s) for s in os.environ.get("BENCH_DECOMPOSE_SIZES", "1000,10000,100000").split(",")]
+MIN_SPEEDUP = float(os.environ.get("BENCH_DECOMPOSE_MIN_SPEEDUP", "20"))
+SCALAR_CAP = int(os.environ.get("BENCH_DECOMPOSE_SCALAR_CAP", "20000"))
+NUM_VERTICES = 4
+FEATURE_DIM = 3
+
+
+def build_problem(num_towers: int):
+    """Vertices plus a realistic mix of interior, boundary and outlier towers."""
+    rng = np.random.default_rng(2015)
+    vertices = rng.normal(size=(NUM_VERTICES, FEATURE_DIM)) * 2.0
+    interior = rng.dirichlet(np.ones(NUM_VERTICES), size=num_towers) @ vertices
+    noise = rng.normal(size=(num_towers, FEATURE_DIM)) * 0.15
+    targets = interior + noise
+    # a slice of far-outside towers keeps the low-dimensional faces hot
+    outliers = rng.random(num_towers) < 0.1
+    targets[outliers] += rng.normal(size=(int(outliers.sum()), FEATURE_DIM)) * 3.0
+    return vertices, targets
+
+
+def run_one_size(num_towers: int):
+    vertices, targets = build_problem(num_towers)
+
+    # Warm both paths (ufunc setup, LAPACK initialisation) before timing.
+    warm = targets[: min(200, num_towers)]
+    simplex_constrained_least_squares_batch(vertices, warm)
+    simplex_constrained_least_squares(vertices, targets[0])
+
+    scalar_sample = min(num_towers, SCALAR_CAP)
+    start = time.perf_counter()
+    scalar_results = [
+        simplex_constrained_least_squares(vertices, targets[row])
+        for row in range(scalar_sample)
+    ]
+    scalar_seconds = time.perf_counter() - start
+    scalar_per_sec = scalar_sample / scalar_seconds
+
+    start = time.perf_counter()
+    batch_coefficients, batch_residuals = simplex_constrained_least_squares_batch(
+        vertices, targets
+    )
+    batch_seconds = time.perf_counter() - start
+    batch_per_sec = num_towers / batch_seconds
+
+    # Equivalence with the per-tower reference on the sampled rows.
+    scalar_coefficients = np.stack([c for c, _ in scalar_results])
+    scalar_residuals = np.array([r for _, r in scalar_results])
+    max_coefficient_diff = float(
+        np.abs(batch_coefficients[:scalar_sample] - scalar_coefficients).max()
+    )
+    max_residual_diff = float(
+        np.abs(batch_residuals[:scalar_sample] - scalar_residuals).max()
+    )
+    assert max_coefficient_diff <= 1e-9, (
+        f"batched coefficients diverged from the scalar reference at n={num_towers}: "
+        f"max diff {max_coefficient_diff:.2e}"
+    )
+    assert max_residual_diff <= 1e-9
+
+    return {
+        "num_towers": num_towers,
+        "scalar_sampled": scalar_sample < num_towers,
+        "scalar_sample_size": scalar_sample,
+        "scalar_seconds": scalar_seconds,
+        "batch_seconds": batch_seconds,
+        "scalar_towers_per_sec": scalar_per_sec,
+        "batch_towers_per_sec": batch_per_sec,
+        "speedup": batch_per_sec / scalar_per_sec,
+        "max_coefficient_diff": max_coefficient_diff,
+        "max_residual_diff": max_residual_diff,
+    }
+
+
+def run_comparison():
+    return [run_one_size(size) for size in SIZES]
+
+
+def test_decompose_throughput(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    print_section("Simplex decomposition throughput — per-tower vs batched (k = 4)")
+    print(
+        format_table(
+            ["towers", "scalar tw/s", "batched tw/s", "speedup", "max |Δcoeff|"],
+            [
+                [
+                    f"{row['num_towers']:,}" + ("*" if row["scalar_sampled"] else ""),
+                    f"{row['scalar_towers_per_sec']:,.0f}",
+                    f"{row['batch_towers_per_sec']:,.0f}",
+                    f"{row['speedup']:.1f}x",
+                    f"{row['max_coefficient_diff']:.1e}",
+                ]
+                for row in results
+            ],
+        )
+    )
+    if any(row["scalar_sampled"] for row in results):
+        print(f"\n* scalar path timed on a {SCALAR_CAP:,}-tower sample and extrapolated")
+
+    summary = {
+        "num_vertices": NUM_VERTICES,
+        "feature_dim": FEATURE_DIM,
+        "min_speedup_required": MIN_SPEEDUP,
+        "sizes": results,
+    }
+    print("\nJSON summary:")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    for row in results:
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"batched decomposition is only {row['speedup']:.1f}x faster than scalar "
+            f"at n={row['num_towers']:,}; expected >= {MIN_SPEEDUP}x"
+        )

@@ -16,6 +16,7 @@ from repro.viz.tables import format_table
 def build_fig17(result, config_feature):
     features = result.frequency_features.feature_matrix(config_feature)
     representatives = result.representatives
+    # Both diagnostics run the batched simplex kernel over all towers at once.
     containment = hull_containment_fraction(features, representatives, relative_tolerance=0.1)
     distances = hull_distance_profile(features, representatives)
     return features, representatives, containment, distances

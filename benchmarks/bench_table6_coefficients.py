@@ -25,22 +25,26 @@ def build_table6(model, result, num_comprehensive=5):
     comp_members = result.cluster_members(comp_cluster)[:num_comprehensive]
     comp_ids = result.tower_ids[comp_members]
 
+    # One batched solve covers the representative and comprehensive towers.
+    all_ids = [int(tower_id) for tower_id in np.concatenate([rep_ids, comp_ids])]
+    batch = model.decompose_towers(all_ids)
+    coefficient_columns = np.stack(
+        [batch.coefficients_for(int(label)) for label in rep_labels], axis=1
+    )
     rows = []
+    row_index = 0
     for name_prefix, tower_ids in (("F", rep_ids), ("P", comp_ids)):
         for index, tower_id in enumerate(tower_ids, start=1):
-            decomposition = model.decompose(int(tower_id))
-            coefficients = [
-                decomposition.coefficient_of(int(label)) for label in rep_labels
-            ]
             ntf = ntf_idf_of_towers(result.poi_profile, np.array([tower_id]))[0]
             rows.append(
                 {
                     "name": f"{name_prefix}{index}",
                     "tower_id": int(tower_id),
-                    "coefficients": np.array(coefficients),
+                    "coefficients": coefficient_columns[row_index],
                     "ntf_idf": ntf,
                 }
             )
+            row_index += 1
     return rows, rep_labels
 
 

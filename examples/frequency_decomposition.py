@@ -17,7 +17,6 @@ from pathlib import Path
 import numpy as np
 
 from repro import ModelConfig, ScenarioConfig, TrafficPatternModel, generate_scenario
-from repro.decompose.convex import decompose_all
 from repro.spectral.components import reconstruction_energy_loss
 from repro.spectral.dft import amplitude_spectrum
 from repro.synth.regions import RegionType
@@ -66,17 +65,19 @@ def main() -> None:
     export_rows_csv(feature_rows, features_path)
     print(f"\nWrote per-tower frequency features to {features_path}")
 
-    # 3. Convex decomposition of every tower onto the four primary components.
-    feature_matrix = features.feature_matrix(model.config.decomposition_feature)
-    decompositions = decompose_all(feature_matrix, features.tower_ids, result.representatives)
+    # 3. Convex decomposition of every tower onto the four primary components
+    # — a single vectorized call over the whole (towers × features) matrix.
+    batch = model.decompose_all()
     decomposition_rows = []
-    for decomposition in decompositions:
+    for row in range(len(batch)):
         entry = {
-            "tower_id": decomposition.tower_id,
-            "residual": decomposition.residual,
+            "tower_id": int(batch.tower_ids[row]),
+            "residual": float(batch.residuals[row]),
         }
-        for label, coefficient in decomposition.as_dict().items():
-            entry[f"coef_{result.region_of_cluster(label).value}"] = coefficient
+        for label in batch.component_labels:
+            entry[f"coef_{result.region_of_cluster(int(label)).value}"] = float(
+                batch.coefficients_for(int(label))[row]
+            )
         decomposition_rows.append(entry)
     decomposition_path = output_dir / "tower_decompositions.csv"
     export_rows_csv(decomposition_rows, decomposition_path)

@@ -58,7 +58,7 @@ from repro.io.server import ModelServer
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 from repro.utils.timeutils import TimeWindow
 from repro.viz.export import export_json, export_rows_csv
-from repro.viz.tables import format_table
+from repro.viz.tables import decomposition_table, format_table
 
 
 class CLIError(RuntimeError):
@@ -201,23 +201,15 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_decompositions(result, decompositions) -> None:
-    """Print the table of ``(tower_id, ConvexDecomposition)`` pairs."""
+def _print_decompositions(result, batch) -> None:
+    """Print the coefficient table of a :class:`BatchDecomposition`."""
     if result.representatives is None:
         raise SystemExit("not enough clusters to build primary components")
-    rows = []
-    for tower_id, decomposition in decompositions:
-        coefficients = decomposition.as_dict()
-        row = [tower_id]
-        for label in sorted(coefficients):
-            row.append(round(coefficients[label], 3))
-        row.append(round(decomposition.residual, 5))
-        rows.append(row)
     component_names = [
         (result.region_of_cluster(int(label)).value if result.labeling else f"component {label}")
-        for label in sorted(result.representatives.cluster_labels.tolist())
+        for label in sorted(batch.component_labels.tolist())
     ]
-    print(format_table(["tower", *component_names, "residual"], rows))
+    print(decomposition_table(batch, component_names))
 
 
 def _default_decompose_towers(model: TrafficPatternModel, count: int) -> list[int]:
@@ -247,10 +239,10 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         tower_ids = _default_decompose_towers(model, args.count)
 
     def solve_all():
-        return [(int(t), model.decompose(int(t))) for t in tower_ids]
+        return model.decompose_towers([int(t) for t in tower_ids])
 
-    decompositions = _served(args.model, solve_all) if args.model else solve_all()
-    _print_decompositions(model.result, decompositions)
+    batch = _served(args.model, solve_all) if args.model else solve_all()
+    _print_decompositions(model.result, batch)
     return 0
 
 
@@ -317,7 +309,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     server = ModelServer.from_artifact(args.model)
     result = server.result
     payload: dict[str, object] = {}
-    explicit = bool(args.decompose or args.region or args.pattern)
+    explicit = bool(args.decompose or args.decompose_all or args.region or args.pattern)
 
     if args.summary or not explicit:
         rows = result.percentage_table()
@@ -331,23 +323,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             payload["summary"] = rows
 
     if args.decompose:
-        decompositions = [
-            (int(t), _served(args.model, lambda t=t: server.decompose(int(t))))
-            for t in args.decompose
-        ]
+        batch = _served(
+            args.model, lambda: server.decompose_many([int(t) for t in args.decompose])
+        )
         print()
-        _served(args.model, lambda: _print_decompositions(result, decompositions))
+        _served(args.model, lambda: _print_decompositions(result, batch))
         if args.json:
-            payload["decompositions"] = [
-                {
-                    "tower_id": tower_id,
-                    "coefficients": {
-                        str(k): v for k, v in decomposition.as_dict().items()
-                    },
-                    "residual": decomposition.residual,
-                }
-                for tower_id, decomposition in decompositions
-            ]
+            payload["decompositions"] = batch.as_rows()
+
+    if args.decompose_all:
+        batch = _served(args.model, server.decompose_all)
+        print()
+        print(f"convex decomposition of all {len(batch)} towers:")
+        _served(args.model, lambda: _print_decompositions(result, batch))
+        if args.json:
+            payload["decompositions_all"] = batch.as_rows()
 
     if args.region:
         rows = []
@@ -461,7 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--decompose", type=int, nargs="+", metavar="TOWER",
-        help="convex decomposition of these towers",
+        help="convex decomposition of these towers (one batched solve)",
+    )
+    query.add_argument(
+        "--decompose-all", action="store_true",
+        help="convex decomposition of every tower in one vectorized call",
     )
     query.add_argument(
         "--region", type=int, nargs="+", metavar="TOWER",

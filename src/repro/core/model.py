@@ -38,7 +38,8 @@ from repro.core.config import ModelConfig
 from repro.core.pipeline import Pipeline, PipelineContext, StageCache, timings_as_dict
 from repro.core.results import ModelResult
 from repro.core.stages import default_stages
-from repro.decompose.convex import ConvexDecomposition, decompose_features
+from repro.decompose.batch import BatchDecomposition, decompose_features_batch
+from repro.decompose.convex import ConvexDecomposition
 from repro.decompose.mixture import TimeDomainMixture, mixture_time_series
 from repro.ingest.batch import RecordBatch
 from repro.synth.city import CityModel
@@ -318,8 +319,8 @@ class TrafficPatternModel:
     # Post-fit analysis helpers
     # ------------------------------------------------------------------
 
-    def decompose(self, tower_id: int) -> ConvexDecomposition:
-        """Return the convex decomposition of one tower onto the primary components."""
+    def _decomposition_inputs(self) -> tuple[ModelResult, np.ndarray]:
+        """Return ``(result, feature_matrix)``, failing fast without components."""
         result = self.result
         if result.representatives is None:
             raise RuntimeError(
@@ -328,9 +329,42 @@ class TrafficPatternModel:
         feature_matrix = result.frequency_features.feature_matrix(
             self.config.decomposition_feature
         )
-        row = result.frequency_features.row_of(tower_id)
-        return decompose_features(
-            feature_matrix[row], result.representatives, tower_id=tower_id
+        return result, feature_matrix
+
+    def decompose(self, tower_id: int) -> ConvexDecomposition:
+        """Return the convex decomposition of one tower onto the primary components."""
+        return self.decompose_towers([tower_id]).at(0)
+
+    def decompose_towers(self, tower_ids: Sequence[int]) -> BatchDecomposition:
+        """Decompose several towers in one batched simplex solve.
+
+        Raises
+        ------
+        KeyError
+            If any id in ``tower_ids`` is unknown to the model.
+        """
+        result, feature_matrix = self._decomposition_inputs()
+        ids = np.array([int(tower_id) for tower_id in tower_ids], dtype=int)
+        rows = np.array(
+            [result.frequency_features.row_of(int(tower_id)) for tower_id in ids],
+            dtype=int,
+        )
+        return decompose_features_batch(
+            feature_matrix[rows], result.representatives, tower_ids=ids
+        )
+
+    def decompose_all(self) -> BatchDecomposition:
+        """Decompose every tower of the model in one vectorized call.
+
+        The whole-city counterpart of :meth:`decompose`: one call to the
+        batched active-set kernel returns coefficients ``(n, k)``, residuals
+        ``(n,)`` and projections ``(n, d)`` for all towers at once.
+        """
+        result, feature_matrix = self._decomposition_inputs()
+        return decompose_features_batch(
+            feature_matrix,
+            result.representatives,
+            tower_ids=result.frequency_features.tower_ids,
         )
 
     def decompose_in_time_domain(self, tower_id: int) -> TimeDomainMixture:

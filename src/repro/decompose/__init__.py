@@ -17,22 +17,38 @@ package provides:
   comprehensive tower (:mod:`repro.decompose.mixture`).
 """
 
-from repro.decompose.convex import ConvexDecomposition, decompose_features, decompose_tower
+from repro.decompose.batch import BatchDecomposition, decompose_features_batch
+from repro.decompose.convex import (
+    ConvexDecomposition,
+    decompose_all,
+    decompose_features,
+    decompose_tower,
+)
 from repro.decompose.mixture import TimeDomainMixture, mixture_time_series
 from repro.decompose.polygon import hull_containment_fraction, polygon_vertices
 from repro.decompose.representative import RepresentativeTowers, select_representative_towers
-from repro.decompose.simplex import project_to_simplex, simplex_constrained_least_squares
+from repro.decompose.simplex import (
+    project_to_simplex,
+    project_to_simplex_batch,
+    simplex_constrained_least_squares,
+    simplex_constrained_least_squares_batch,
+)
 
 __all__ = [
+    "BatchDecomposition",
     "ConvexDecomposition",
     "RepresentativeTowers",
     "TimeDomainMixture",
+    "decompose_all",
     "decompose_features",
+    "decompose_features_batch",
     "decompose_tower",
     "hull_containment_fraction",
     "mixture_time_series",
     "polygon_vertices",
     "project_to_simplex",
+    "project_to_simplex_batch",
     "select_representative_towers",
     "simplex_constrained_least_squares",
+    "simplex_constrained_least_squares_batch",
 ]

@@ -131,12 +131,17 @@ def decompose_all(
     tower_ids: np.ndarray,
     representatives: RepresentativeTowers,
 ) -> list[ConvexDecomposition]:
-    """Decompose every tower; returns one result per row of ``features``."""
+    """Decompose every tower; returns one result per row of ``features``.
+
+    All rows are solved in one call to
+    :func:`repro.decompose.batch.decompose_features_batch`; use that function
+    directly when the struct-of-ndarrays result is preferable to a list of
+    per-tower objects.
+    """
+    from repro.decompose.batch import decompose_features_batch
+
     feature_matrix = np.asarray(features, dtype=float)
     ids = np.asarray(tower_ids, dtype=int)
     if feature_matrix.shape[0] != ids.shape[0]:
         raise ValueError("features and tower_ids must align")
-    return [
-        decompose_features(feature_matrix[row], representatives, tower_id=int(ids[row]))
-        for row in range(feature_matrix.shape[0])
-    ]
+    return list(decompose_features_batch(feature_matrix, representatives, tower_ids=ids))

@@ -13,7 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.decompose.representative import RepresentativeTowers
-from repro.decompose.simplex import simplex_constrained_least_squares
+from repro.decompose.simplex import (
+    simplex_constrained_least_squares,
+    simplex_constrained_least_squares_batch,
+)
 
 
 def polygon_vertices(representatives: RepresentativeTowers) -> np.ndarray:
@@ -49,19 +52,21 @@ def hull_containment_fraction(
     if diameter <= 0:
         raise ValueError("polygon vertices are degenerate (zero diameter)")
     tolerance = relative_tolerance * diameter
-    inside = 0
-    for row in range(feature_matrix.shape[0]):
-        if distance_to_hull(feature_matrix[row], vertices) <= tolerance:
-            inside += 1
-    return inside / feature_matrix.shape[0]
+    _, distances = simplex_constrained_least_squares_batch(vertices, feature_matrix)
+    return int(np.count_nonzero(distances <= tolerance)) / feature_matrix.shape[0]
 
 
 def hull_distance_profile(
     features: np.ndarray, representatives: RepresentativeTowers
 ) -> np.ndarray:
-    """Return the distance of every tower to the polygon (one value per row)."""
+    """Return the distance of every tower to the polygon (one value per row).
+
+    All rows are solved by one call to the batched simplex kernel; each entry
+    matches :func:`distance_to_hull` on that row within ``1e-9``.
+    """
     feature_matrix = np.asarray(features, dtype=float)
+    if feature_matrix.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {feature_matrix.shape}")
     vertices = polygon_vertices(representatives)
-    return np.array(
-        [distance_to_hull(feature_matrix[row], vertices) for row in range(feature_matrix.shape[0])]
-    )
+    _, distances = simplex_constrained_least_squares_batch(vertices, feature_matrix)
+    return distances

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.model import TrafficPatternModel
 from repro.core.results import ClusterSummary, ModelResult
+from repro.decompose.batch import BatchDecomposition
 from repro.decompose.convex import ConvexDecomposition
 from repro.synth.regions import RegionType
 
@@ -64,6 +66,7 @@ class ModelServer:
         self._model = model
         self._result = model.result  # fail fast when not fitted
         self._decompose_cache: dict[int, ConvexDecomposition] = {}
+        self._batch_decomposition: BatchDecomposition | None = None
         self._queries = 0
         self._cache_hits = 0
 
@@ -117,16 +120,60 @@ class ModelServer:
         return self._result.summaries()[cluster_label]
 
     def decompose(self, tower_id: int) -> ConvexDecomposition:
-        """Return the convex decomposition of one tower (memoised)."""
+        """Return the convex decomposition of one tower (memoised).
+
+        Served from the per-tower cache, then from the whole-city batch when
+        :meth:`decompose_all` has already run, and only then solved — as a
+        one-row call into the batched kernel.
+        """
         self._queries += 1
         key = int(tower_id)
         cached = self._decompose_cache.get(key)
         if cached is not None:
             self._cache_hits += 1
             return cached
-        decomposition = self._model.decompose(key)
+        if self._batch_decomposition is not None:
+            decomposition = self._batch_decomposition.decomposition_of(key)
+            self._cache_hits += 1
+        else:
+            decomposition = self._model.decompose(key)
         self._decompose_cache[key] = decomposition
         return decomposition
+
+    def decompose_many(self, tower_ids: Sequence[int]) -> BatchDecomposition:
+        """Decompose several towers as one batched solve.
+
+        Sliced out of the memoised whole-city batch when available;
+        otherwise a single vectorized call covers every requested tower, and
+        the per-tower cache is populated from its rows.
+        """
+        self._queries += 1
+        ids = [int(tower_id) for tower_id in tower_ids]
+        if self._batch_decomposition is not None:
+            self._cache_hits += 1
+            rows = np.array(
+                [self._batch_decomposition.row_of(key) for key in ids], dtype=int
+            )
+            return self._batch_decomposition.take(rows)
+        batch = self._model.decompose_towers(ids)
+        for index, key in enumerate(ids):
+            self._decompose_cache.setdefault(key, batch.at(index))
+        return batch
+
+    def decompose_all(self) -> BatchDecomposition:
+        """Decompose every tower in one vectorized call (memoised).
+
+        The first call runs the batched simplex kernel over the whole
+        ``(towers × feature_dim)`` matrix; afterwards every
+        :meth:`decompose` / :meth:`decompose_many` query is a slice of the
+        cached result.
+        """
+        self._queries += 1
+        if self._batch_decomposition is None:
+            self._batch_decomposition = self._model.decompose_all()
+        else:
+            self._cache_hits += 1
+        return self._batch_decomposition
 
     def predict_region(self, tower_id: int) -> RegionType:
         """Return the urban functional region inferred for one tower."""
@@ -151,13 +198,16 @@ class ModelServer:
 
     def stats(self) -> dict[str, int]:
         """Return cumulative serving counters."""
+        batch = self._batch_decomposition
         return {
             "queries": self._queries,
             "decompose_cache_hits": self._cache_hits,
             "decompose_cache_size": len(self._decompose_cache),
+            "decompose_batch_rows": 0 if batch is None else len(batch),
         }
 
     def invalidate(self) -> None:
         """Drop memoised query results (call after updating the model)."""
         self._result = self._model.result
         self._decompose_cache.clear()
+        self._batch_decomposition = None

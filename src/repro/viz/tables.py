@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.decompose.batch import BatchDecomposition
 
 
 def format_table(
@@ -40,6 +43,36 @@ def format_table(
     lines = [format_row(list(headers)), "-+-".join("-" * width for width in widths)]
     lines.extend(format_row(row) for row in rendered_rows)
     return "\n".join(lines)
+
+
+def decomposition_table(
+    batch: "BatchDecomposition",
+    component_names: Sequence[str] | None = None,
+    *,
+    coefficient_digits: int = 3,
+    residual_digits: int = 5,
+) -> str:
+    """Render the coefficient table of a whole batch of decompositions.
+
+    One row per tower; coefficient columns are ordered by ascending
+    primary-component cluster label, with ``component_names`` (same order)
+    as headers when given.
+    """
+    order = np.argsort(batch.component_labels)
+    if component_names is None:
+        component_names = [f"component {int(label)}" for label in batch.component_labels[order]]
+    if len(component_names) != order.size:
+        raise ValueError("one component name per primary component is required")
+    rows = []
+    for index in range(len(batch)):
+        row: list[object] = [int(batch.tower_ids[index])]
+        row.extend(
+            round(float(value), coefficient_digits)
+            for value in batch.coefficients[index, order]
+        )
+        row.append(round(float(batch.residuals[index]), residual_digits))
+        rows.append(row)
+    return format_table(["tower", *component_names, "residual"], rows)
 
 
 def render_matrix(

@@ -247,6 +247,29 @@ class TestPersistCLI:
         assert {"regions", "decompositions", "patterns"} <= set(payload)
         assert payload["regions"][0]["tower_id"] == 0
 
+    def test_query_decompose_all(self, saved_bundle, tmp_path, capsys):
+        capsys.readouterr()
+        json_path = tmp_path / "all.json"
+        exit_code = main(
+            [
+                "query",
+                "--model", str(saved_bundle),
+                "--decompose-all",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "convex decomposition of all 40 towers:" in output
+        assert "residual" in output
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        rows = payload["decompositions_all"]
+        assert len(rows) == 40
+        assert {"tower_id", "coefficients", "residual"} <= set(rows[0])
+        assert sum(rows[0]["coefficients"].values()) == pytest.approx(1.0)
+
     def test_decompose_from_saved_model(self, saved_bundle, capsys):
         capsys.readouterr()
         exit_code = main(
