@@ -1,0 +1,205 @@
+"""Shard-parallel ingest→aggregate scaling — serial vs multiprocessing pool.
+
+Times the chunked clean + slot-split scatter path over a corrupted synthetic
+trace in two modes:
+
+* **serial** — ``aggregate_batches(..., workers=0, prepare=clean_chunk)``,
+  the single-process equivalence reference;
+* **parallel** — the same call at each worker count in
+  ``BENCH_PARALLEL_WORKERS`` (default ``1,2,4``): chunks fan out to a
+  multiprocessing pool scattering into shared-memory shard grids, reduced in
+  fixed shard order.
+
+For every size in ``BENCH_PARALLEL_RECORDS`` (default 1M and 10M records) it
+emits a records/sec table plus a JSON scaling summary, asserts every
+parallel matrix agrees with the serial reference to float tolerance, and —
+at the smallest size — asserts two runs at the same worker count are
+bit-for-bit identical (the determinism contract).
+
+The speedup gate is hardware-aware: with fewer usable cores than the
+largest worker count the scaling assertion is skipped (a 1–2 core CI box
+cannot show a 4-worker speedup; correctness is still checked), otherwise
+the best parallel configuration must beat ``BENCH_PARALLEL_MIN_SPEEDUP``×
+the serial throughput.  Override the gate explicitly with
+``BENCH_PARALLEL_MIN_SPEEDUP`` (``0`` disables it)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_ingest.py -s
+    BENCH_PARALLEL_RECORDS=200000 BENCH_PARALLEL_WORKERS=1,2 \
+        PYTHONPATH=src python -m pytest benchmarks/bench_parallel_ingest.py -s
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_section
+from repro.ingest.batch import RecordBatch
+from repro.synth.noise import LogCorruptionConfig, corrupt_batch
+from repro.utils.timeutils import SLOT_SECONDS, TimeWindow
+from repro.vectorize.aggregate import aggregate_batches
+from repro.vectorize.parallel import clean_chunk
+from repro.viz.tables import format_table
+
+RECORD_COUNTS = [
+    int(value)
+    for value in os.environ.get("BENCH_PARALLEL_RECORDS", "1000000,10000000").split(",")
+]
+WORKER_COUNTS = [
+    int(value) for value in os.environ.get("BENCH_PARALLEL_WORKERS", "1,2,4").split(",")
+]
+CHUNK_SIZE = int(os.environ.get("BENCH_PARALLEL_CHUNK_SIZE", "250000"))
+NUM_TOWERS = 200
+WINDOW = TimeWindow(num_days=7)
+RTOL = 1e-9  # documented parallel-vs-serial float tolerance
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def min_speedup_gate() -> float | None:
+    """The speedup assertion threshold, or None when hardware can't scale."""
+    configured = os.environ.get("BENCH_PARALLEL_MIN_SPEEDUP")
+    if configured is not None:
+        value = float(configured)
+        return value if value > 0 else None
+    if usable_cores() < max(WORKER_COUNTS):
+        return None
+    return 2.5
+
+
+def build_trace(num_records: int) -> RecordBatch:
+    """Build a corrupted synthetic trace directly in columnar form."""
+    rng = np.random.default_rng(2015)
+    starts = rng.uniform(0, WINDOW.num_seconds, size=num_records)
+    durations = rng.exponential(0.6 * SLOT_SECONDS, size=num_records)
+    durations[rng.random(num_records) < 0.1] *= 8.0
+    durations[rng.random(num_records) < 0.05] = 0.0
+    clean = RecordBatch(
+        user_id=rng.integers(0, 50_000, size=num_records),
+        tower_id=rng.integers(0, NUM_TOWERS, size=num_records),
+        start_s=starts,
+        end_s=np.minimum(starts + durations, float(WINDOW.num_seconds)),
+        bytes_used=rng.lognormal(9.0, 1.0, size=num_records),
+        network=np.where(rng.random(num_records) < 0.7, 1, 0).astype(np.uint8),
+    )
+    corrupted, _ = corrupt_batch(clean, LogCorruptionConfig(), rng=rng)
+    return corrupted
+
+
+def run_scaling(num_records: int, *, check_determinism: bool) -> dict:
+    trace = build_trace(num_records)
+    tower_ids = list(range(NUM_TOWERS))
+    n = len(trace)
+
+    def chunks():
+        return trace.iter_chunks(CHUNK_SIZE)
+
+    # Warm-up (ufunc setup, page faults) on a small slice.
+    aggregate_batches(
+        trace.take(np.arange(min(50_000, n))).iter_chunks(CHUNK_SIZE),
+        WINDOW,
+        tower_ids,
+        prepare=clean_chunk,
+    )
+
+    start = time.perf_counter()
+    serial = aggregate_batches(chunks(), WINDOW, tower_ids, prepare=clean_chunk)
+    serial_seconds = time.perf_counter() - start
+
+    configs = {}
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        parallel = aggregate_batches(
+            chunks(), WINDOW, tower_ids, workers=workers, prepare=clean_chunk
+        )
+        seconds = time.perf_counter() - start
+        assert np.array_equal(parallel.tower_ids, serial.tower_ids)
+        assert np.allclose(parallel.traffic, serial.traffic, rtol=RTOL, atol=0.0), (
+            f"parallel matrix at workers={workers} diverged from the serial "
+            f"reference beyond rtol={RTOL}"
+        )
+        if check_determinism:
+            rerun = aggregate_batches(
+                chunks(), WINDOW, tower_ids, workers=workers, prepare=clean_chunk
+            )
+            assert np.array_equal(parallel.traffic, rerun.traffic), (
+                f"parallel aggregation at workers={workers} is not "
+                "deterministic run-to-run"
+            )
+        configs[workers] = {
+            "seconds": seconds,
+            "records_per_sec": n / seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+        }
+
+    return {
+        "num_records": n,
+        "chunk_size": CHUNK_SIZE,
+        "serial_seconds": serial_seconds,
+        "serial_records_per_sec": n / serial_seconds,
+        "workers": configs,
+    }
+
+
+def test_parallel_ingest_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            run_scaling(count, check_determinism=(count == min(RECORD_COUNTS)))
+            for count in RECORD_COUNTS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    gate = min_speedup_gate()
+    cores = usable_cores()
+    print_section("Shard-parallel ingest→aggregate scaling")
+    best_speedup = 0.0
+    for sizing in results:
+        rows = [
+            [
+                "serial",
+                round(sizing["serial_seconds"], 3),
+                f"{sizing['serial_records_per_sec']:,.0f}",
+                "1.0x",
+            ]
+        ]
+        for workers, stats in sorted(sizing["workers"].items()):
+            rows.append(
+                [
+                    f"workers={workers}",
+                    round(stats["seconds"], 3),
+                    f"{stats['records_per_sec']:,.0f}",
+                    f"{stats['speedup_vs_serial']:.2f}x",
+                ]
+            )
+            best_speedup = max(best_speedup, stats["speedup_vs_serial"])
+        print(f"\n{sizing['num_records']:,} records (chunks of {sizing['chunk_size']:,}):")
+        print(format_table(["path", "seconds", "records/sec", "speedup"], rows))
+
+    summary = {
+        "num_towers": NUM_TOWERS,
+        "num_days": WINDOW.num_days,
+        "usable_cores": cores,
+        "min_speedup_required": gate,
+        "sizes": results,
+    }
+    print("\nJSON summary:")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+    if gate is None:
+        print(
+            f"\nscaling gate skipped: {cores} usable core(s) < "
+            f"{max(WORKER_COUNTS)} workers (correctness still verified)"
+        )
+        return
+    assert best_speedup >= gate, (
+        f"best parallel speedup is only {best_speedup:.2f}x over serial "
+        f"(workers {WORKER_COUNTS}, {cores} cores); expected >= {gate}x"
+    )

@@ -57,6 +57,7 @@ from repro.io.persist import PersistError
 from repro.io.server import ModelServer
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 from repro.utils.timeutils import TimeWindow
+from repro.vectorize.parallel import clean_chunk
 from repro.viz.export import export_json, export_rows_csv
 from repro.viz.tables import decomposition_table, format_table
 
@@ -71,6 +72,25 @@ def _require_file(path: str, what: str) -> Path:
     if not resolved.is_file():
         raise CLIError(f"{resolved}: {what} not found")
     return resolved
+
+
+def _streaming_options(args: argparse.Namespace) -> tuple[int, int]:
+    """Validate ``--chunk-size``/``--workers`` and resolve them to ints.
+
+    Returns ``(chunk_size, workers)`` with ``0`` meaning "not requested";
+    out-of-range values fail with the one-line exit-2 operational style.
+    """
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None and chunk_size <= 0:
+        raise CLIError(
+            f"--chunk-size must be a positive record count, got {chunk_size}"
+        )
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < -1:
+        raise CLIError(
+            f"--workers must be >= -1 (0 = serial, -1 = all cores), got {workers}"
+        )
+    return chunk_size or 0, workers or 0
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -114,16 +134,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario | None]:
+    chunk_size, workers = _streaming_options(args)
     config = ModelConfig(
         max_clusters=args.max_clusters,
         num_clusters=args.clusters,
         cluster_backend=args.cluster_backend,
+        workers=workers,
     )
     model = TrafficPatternModel(config)
 
-    chunk_size = getattr(args, "chunk_size", 0)
     if chunk_size and not args.trace:
         raise SystemExit("--chunk-size only applies when fitting from --trace")
+    if workers and not (args.trace and chunk_size):
+        # Without a chunked trace there is nothing to shard; erroring beats
+        # accepting the flag and running silently serial.
+        raise CLIError(
+            "--workers needs a streaming input: pass --trace together with "
+            "--chunk-size so the trace is read in shardable chunks"
+        )
     if args.trace:
         if not args.stations:
             raise SystemExit("--stations is required when --trace is given")
@@ -135,13 +163,22 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
         if chunk_size:
             # Out-of-core streaming fit: each chunk is cleaned independently
             # and scattered into the accumulator matrix, so memory stays
-            # bounded by the chunk size regardless of the trace size.
-            def cleaned_batches():
-                for batch in iter_record_batches_csv(args.trace, chunk_size=chunk_size):
-                    cleaned, _ = clean_batch(batch)
-                    yield cleaned
+            # bounded by the chunk size regardless of the trace size.  With
+            # --workers the chunks fan out to a multiprocessing pool that
+            # cleans and scatters into shared-memory shard grids while the
+            # main process keeps reading the CSV.
+            chunks = iter_record_batches_csv(args.trace, chunk_size=chunk_size)
+            if workers:
+                model.fit_batches(
+                    chunks, window, tower_ids, workers=workers, prepare=clean_chunk
+                )
+            else:
+                def cleaned_batches():
+                    for batch in chunks:
+                        cleaned, _ = clean_batch(batch)
+                        yield cleaned
 
-            model.fit_batches(cleaned_batches(), window, tower_ids)
+                model.fit_batches(cleaned_batches(), window, tower_ids)
             return model, None
         batch = read_record_batch_csv(args.trace)
         preprocessed = preprocess_trace(batch, stations, None, compute_density=False)
@@ -247,20 +284,35 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
+    chunk_size, workers = _streaming_options(args)
+    if workers and not chunk_size:
+        raise CLIError(
+            "--workers needs --chunk-size so the new trace is read in "
+            "shardable chunks"
+        )
     model = TrafficPatternModel.load(args.model)
     window = model.result.window
     trace_path = _require_file(args.input, "input trace")
 
     def cleaned_batches():
-        if args.chunk_size:
-            chunks = iter_record_batches_csv(trace_path, chunk_size=args.chunk_size)
+        if chunk_size:
+            chunks = iter_record_batches_csv(trace_path, chunk_size=chunk_size)
         else:
             chunks = [read_record_batch_csv(trace_path)]
         for batch in chunks:
             cleaned, _ = clean_batch(batch)
             yield cleaned
 
-    result = model.update(cleaned_batches())
+    if workers:
+        # Shard the scatter across the pool; each worker cleans its own
+        # chunks (prepare) while the main process streams the CSV.
+        result = model.update(
+            iter_record_batches_csv(trace_path, chunk_size=chunk_size),
+            workers=workers,
+            prepare=clean_chunk,
+        )
+    else:
+        result = model.update(cleaned_batches())
     stats = result.extras.get("update_stats", {})
     seen = stats.get("records_seen", 0)
     folded = stats.get("records_folded", 0)
@@ -395,10 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument(
         "--chunk-size",
         type=int,
-        default=0,
+        default=None,
         help="stream the trace in chunks of this many records (out-of-core "
         "fit for traces larger than memory; each chunk is cleaned "
-        "independently; 0 loads the whole trace)",
+        "independently; default loads the whole trace)",
+    )
+    fit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the streamed chunks out to this many multiprocessing "
+        "workers (shared-memory shard grids; -1 uses all cores; requires "
+        "--trace with --chunk-size; default is serial)",
     )
     fit.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     fit.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
@@ -435,9 +495,17 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--chunk-size",
         type=int,
-        default=0,
+        default=None,
         help="stream the new trace in chunks of this many records "
-        "(0 loads it whole)",
+        "(default loads it whole)",
+    )
+    update.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the streamed chunks out to this many multiprocessing "
+        "workers (-1 uses all cores; requires --chunk-size; default is "
+        "serial)",
     )
     update.set_defaults(handler=_cmd_update)
 
@@ -482,9 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument(
         "--chunk-size",
         type=int,
-        default=0,
-        help="stream the trace in chunks of this many records (0 loads the "
-        "whole trace)",
+        default=None,
+        help="stream the trace in chunks of this many records (default "
+        "loads the whole trace)",
     )
     decompose.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     decompose.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")

@@ -46,7 +46,15 @@ from repro.synth.city import CityModel
 from repro.synth.regions import RegionType
 from repro.synth.traffic import TowerTrafficMatrix
 from repro.utils.timeutils import TimeWindow
-from repro.vectorize.aggregate import aggregate_batches, scatter_batch_into
+from repro.vectorize.aggregate import (
+    TowerRowIndex,
+    aggregate_batches,
+    scatter_batch_into,
+)
+from repro.vectorize.parallel import (
+    parallel_aggregate_batches_with_stats,
+    resolve_workers,
+)
 
 
 class TrafficPatternModel:
@@ -157,6 +165,8 @@ class TrafficPatternModel:
         tower_ids: Sequence[int],
         *,
         city: CityModel | None = None,
+        workers: int | None = None,
+        prepare=None,
     ) -> ModelResult:
         """Fit the model on a stream of cleaned record batches (out-of-core).
 
@@ -166,9 +176,21 @@ class TrafficPatternModel:
         already be cleaned — run each chunk through
         :func:`repro.ingest.dedup.clean_batch` first (the pattern the CLI's
         ``--chunk-size`` path uses), otherwise duplicates and conflicting
-        copies inflate the matrix silently.
+        copies inflate the matrix silently — or pass
+        ``prepare=repro.vectorize.parallel.clean_chunk`` to clean each chunk
+        on the fly (inside the workers when parallel).
+
+        ``workers`` shards the aggregation across a multiprocessing pool
+        (``0`` = serial reference, ``-1`` = all cores, default: the
+        ``workers`` field of the model config); see
+        :func:`repro.vectorize.aggregate.aggregate_batches` for the
+        determinism/ulp notes.
         """
-        matrix = aggregate_batches(batches, window, tower_ids)
+        if workers is None:
+            workers = self.config.workers
+        matrix = aggregate_batches(
+            batches, window, tower_ids, workers=workers, prepare=prepare
+        )
         return self.fit(matrix, city=city)
 
     # ------------------------------------------------------------------
@@ -207,6 +229,8 @@ class TrafficPatternModel:
         batches: RecordBatch | Iterable[RecordBatch],
         *,
         city: CityModel | None = None,
+        workers: int | None = None,
+        prepare=None,
     ) -> ModelResult:
         """Fold new record batches into the fitted model (incremental fit).
 
@@ -225,9 +249,19 @@ class TrafficPatternModel:
         result reports how many of the incoming records actually landed on
         the grid, so callers can detect a trace that silently missed the
         window entirely.  Like :meth:`fit_batches`, each batch must already
-        be cleaned (:func:`repro.ingest.dedup.clean_batch`).  A city is only
+        be cleaned (:func:`repro.ingest.dedup.clean_batch`) — or pass
+        ``prepare=repro.vectorize.parallel.clean_chunk`` to clean each batch
+        on the fly.  A city is only
         needed to recompute POI profiles from scratch; when omitted, the
         persisted POI profile re-labels the fresh cluster cut.
+
+        ``workers`` shards the scatter of the new batches — e.g. the chunks
+        of several fresh days — across a multiprocessing pool (``0`` =
+        serial reference, ``-1`` = all cores, default: the ``workers`` field
+        of the model config).  The workers build a shared-memory delta grid
+        that is then added onto the stored grid; as with the parallel fit
+        path, the result is deterministic for a fixed worker count but may
+        differ from the serial update at the ulp level.
         """
         result = self.result
         base = result.vectorized.raw
@@ -238,15 +272,33 @@ class TrafficPatternModel:
             traffic=base.traffic.copy(),
             window=base.window,
         )
-        records_seen = 0
-        records_folded = 0
+        if workers is None:
+            workers = self.config.workers
+        num_workers = resolve_workers(workers)
         window_end = float(merged.window.num_seconds)
-        for batch in batches:
-            records_seen += len(batch)
-            contributes = np.isin(batch.tower_id, merged.tower_ids)
-            contributes &= batch.start_s < window_end
-            records_folded += int(np.count_nonzero(contributes))
-            scatter_batch_into(merged, batch)
+        if num_workers > 0:
+            delta, stats = parallel_aggregate_batches_with_stats(
+                batches,
+                merged.window,
+                merged.tower_ids,
+                workers=num_workers,
+                prepare=prepare,
+            )
+            merged.traffic += delta.traffic
+            records_seen = stats.records_seen
+            records_folded = stats.records_folded
+        else:
+            records_seen = 0
+            records_folded = 0
+            index = TowerRowIndex(merged.tower_ids)
+            for batch in batches:
+                if prepare is not None:
+                    batch = prepare(batch)
+                records_seen += len(batch)
+                contributes = index.rows_of(batch.tower_id) >= 0
+                contributes &= batch.start_s < window_end
+                records_folded += int(np.count_nonzero(contributes))
+                scatter_batch_into(merged, batch, index=index)
 
         context = PipelineContext(config=self.config, traffic=merged, city=city)
         if city is None and result.poi_profile is not None:

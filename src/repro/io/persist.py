@@ -94,6 +94,7 @@ def config_to_manifest(config: ModelConfig) -> dict:
         "poi_radius_km": config.poi_radius_km,
         "feature_normalization": config.feature_normalization.value,
         "decomposition_feature": [list(pair) for pair in config.decomposition_feature],
+        "workers": config.workers,
     }
 
 
@@ -110,6 +111,9 @@ def config_from_manifest(data: dict) -> ModelConfig:
         poi_radius_km=float(data["poi_radius_km"]),
         feature_normalization=NormalizationMethod(data["feature_normalization"]),
         decomposition_feature=tuple(tuple(pair) for pair in data["decomposition_feature"]),
+        # Bundles written before the parallel ingest plane carry no workers
+        # field; they load as serial (0), the old behaviour.
+        workers=int(data.get("workers", 0)),
     )
 
 

@@ -9,12 +9,21 @@ discovery.
 """
 
 from repro.vectorize.aggregate import (
+    TowerRowIndex,
     aggregate_batch,
     aggregate_batches,
     aggregate_records,
     aggregate_records_streaming,
 )
 from repro.vectorize.normalize import NormalizationMethod, normalize_matrix, normalize_vector
+from repro.vectorize.parallel import (
+    ParallelAggregateStats,
+    ParallelIngestError,
+    clean_chunk,
+    parallel_aggregate_batches,
+    parallel_aggregate_batches_with_stats,
+    resolve_workers,
+)
 from repro.vectorize.slots import (
     slot_edges,
     slot_span_of_record,
@@ -26,14 +35,21 @@ from repro.vectorize.vectorizer import TrafficVectorizer, VectorizedTraffic
 
 __all__ = [
     "NormalizationMethod",
+    "ParallelAggregateStats",
+    "ParallelIngestError",
+    "TowerRowIndex",
     "TrafficVectorizer",
     "VectorizedTraffic",
     "aggregate_batch",
     "aggregate_batches",
     "aggregate_records",
     "aggregate_records_streaming",
+    "clean_chunk",
     "normalize_matrix",
     "normalize_vector",
+    "parallel_aggregate_batches",
+    "parallel_aggregate_batches_with_stats",
+    "resolve_workers",
     "slot_edges",
     "slot_span_of_record",
     "slot_spans_of_intervals",

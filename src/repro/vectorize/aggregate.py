@@ -21,7 +21,7 @@ contributions in the same record-then-slot order as the scalar loop).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -57,28 +57,46 @@ def _tower_index(
     return {int(tower_id): row for row, tower_id in enumerate(ordered)}
 
 
-def _rows_of_towers(tower_column: np.ndarray, ordered_ids: np.ndarray) -> np.ndarray:
-    """Map a tower-id column to matrix rows; unknown towers map to ``-1``."""
-    if ordered_ids.size == 0:
-        return np.full(tower_column.shape, -1, dtype=np.int64)
-    sorter = np.argsort(ordered_ids, kind="stable")
-    sorted_ids = ordered_ids[sorter]
-    positions = np.searchsorted(sorted_ids, tower_column)
-    positions = np.minimum(positions, sorted_ids.size - 1)
-    matched = sorted_ids[positions] == tower_column
-    return np.where(matched, sorter[positions], -1)
+class TowerRowIndex:
+    """Reusable tower-id → matrix-row lookup for a fixed row ordering.
+
+    The sorter and sorted-id arrays needed by the ``searchsorted`` lookup are
+    computed once at construction, so a streaming pass over thousands of
+    chunks pays the ``argsort`` of the (typically small) tower directory a
+    single time instead of once per chunk.  Build one per stream and pass it
+    to :func:`scatter_batch_into` (or call :meth:`rows_of` directly).
+    """
+
+    __slots__ = ("ordered_ids", "_sorter", "_sorted_ids")
+
+    def __init__(self, ordered_ids: np.ndarray | Sequence[int]) -> None:
+        self.ordered_ids = np.asarray(ordered_ids, dtype=np.int64)
+        self._sorter = np.argsort(self.ordered_ids, kind="stable")
+        self._sorted_ids = self.ordered_ids[self._sorter]
+
+    def __len__(self) -> int:
+        return int(self.ordered_ids.size)
+
+    def rows_of(self, tower_column: np.ndarray) -> np.ndarray:
+        """Map a tower-id column to matrix rows; unknown towers map to ``-1``."""
+        if self.ordered_ids.size == 0:
+            return np.full(np.asarray(tower_column).shape, -1, dtype=np.int64)
+        positions = np.searchsorted(self._sorted_ids, tower_column)
+        positions = np.minimum(positions, self._sorted_ids.size - 1)
+        matched = self._sorted_ids[positions] == tower_column
+        return np.where(matched, self._sorter[positions], -1)
 
 
 def _scatter_batch(
     batch: RecordBatch,
     traffic: np.ndarray,
-    ordered_ids: np.ndarray,
+    index: TowerRowIndex,
     *,
     split_across_slots: bool,
 ) -> None:
     """Scatter-add one batch's contributions into the traffic matrix."""
     num_rows, num_slots = traffic.shape
-    rows = _rows_of_towers(batch.tower_id, ordered_ids)
+    rows = index.rows_of(batch.tower_id)
     known = rows >= 0
     if not np.any(known):
         return
@@ -124,7 +142,9 @@ def aggregate_batch(
     else:
         ordered = _ordered_tower_ids(tower_ids, ())
     traffic = np.zeros((ordered.size, window.num_slots))
-    _scatter_batch(batch, traffic, ordered, split_across_slots=split_across_slots)
+    _scatter_batch(
+        batch, traffic, TowerRowIndex(ordered), split_across_slots=split_across_slots
+    )
     return TowerTrafficMatrix(tower_ids=ordered, traffic=traffic, window=window)
 
 
@@ -134,17 +154,51 @@ def aggregate_batches(
     tower_ids: Sequence[int],
     *,
     split_across_slots: bool = True,
+    workers: int = 0,
+    prepare: Callable[[RecordBatch], RecordBatch] | None = None,
 ) -> TowerTrafficMatrix:
     """Aggregate a stream of record batches without materialising the trace.
 
     ``tower_ids`` must be provided up front (a streaming pass cannot discover
     the row set without a second pass over the data).  Peak memory is one
     chunk plus the accumulator matrix, so arbitrarily large traces fit.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` (default) streams the chunks serially through this process —
+        the equivalence reference.  ``>= 1`` fans chunks out to that many
+        :mod:`multiprocessing` workers scattering into shared-memory shard
+        grids (see :mod:`repro.vectorize.parallel`); ``-1`` uses all cores.
+        Parallel results are deterministic for a fixed worker count but may
+        differ from the serial matrix at the ulp level (per-shard partial
+        sums are reduced in fixed shard order, a different accumulation
+        order than the serial single-accumulator pass — same caveat as the
+        ``chunk_size`` note on :func:`aggregate_records_streaming`).
+    prepare:
+        Optional per-chunk transform (e.g. cleaning) applied to each batch
+        before scattering — inline when serial, inside the workers when
+        parallel (it must be picklable then, i.e. a module-level callable).
     """
+    from repro.vectorize.parallel import parallel_aggregate_batches, resolve_workers
+
+    num_workers = resolve_workers(workers)
+    if num_workers > 0:
+        return parallel_aggregate_batches(
+            batches,
+            window,
+            tower_ids,
+            workers=num_workers,
+            split_across_slots=split_across_slots,
+            prepare=prepare,
+        )
     ordered = _ordered_tower_ids(tower_ids, ())
+    index = TowerRowIndex(ordered)
     traffic = np.zeros((ordered.size, window.num_slots))
     for batch in batches:
-        _scatter_batch(batch, traffic, ordered, split_across_slots=split_across_slots)
+        if prepare is not None:
+            batch = prepare(batch)
+        _scatter_batch(batch, traffic, index, split_across_slots=split_across_slots)
     return TowerTrafficMatrix(tower_ids=ordered, traffic=traffic, window=window)
 
 
@@ -153,6 +207,7 @@ def scatter_batch_into(
     batch: RecordBatch,
     *,
     split_across_slots: bool = True,
+    index: TowerRowIndex | None = None,
 ) -> TowerTrafficMatrix:
     """Scatter-add one record batch into an *existing* traffic matrix, in place.
 
@@ -167,9 +222,15 @@ def scatter_batch_into(
 
     The matrix is mutated and also returned for chaining.  Callers that need
     the original intact should pass a copy.
+
+    Callers scattering many batches into the same matrix should build a
+    :class:`TowerRowIndex` over ``matrix.tower_ids`` once and pass it as
+    ``index`` so the row lookup tables are not re-sorted per batch.
     """
+    if index is None:
+        index = TowerRowIndex(matrix.tower_ids)
     _scatter_batch(
-        batch, matrix.traffic, matrix.tower_ids, split_across_slots=split_across_slots
+        batch, matrix.traffic, index, split_across_slots=split_across_slots
     )
     return matrix
 
@@ -237,6 +298,8 @@ def aggregate_records_streaming(
     *,
     split_across_slots: bool = True,
     chunk_size: int = 100_000,
+    workers: int = 0,
+    prepare: Callable[[RecordBatch], RecordBatch] | None = None,
 ) -> TowerTrafficMatrix:
     """Aggregate an arbitrarily large record stream without materialising it.
 
@@ -246,11 +309,15 @@ def aggregate_records_streaming(
     controls internal batching and does not affect the result beyond
     floating-point accumulation order (per-chunk partial sums are added to
     the accumulator, so matrices for different chunk sizes agree to within
-    a few ulps rather than bit-for-bit).
+    a few ulps rather than bit-for-bit).  ``workers``/``prepare`` fan the
+    chunks out to a multiprocessing pool exactly as in
+    :func:`aggregate_batches`.
     """
     return aggregate_batches(
         batch_from_record_iter(records, chunk_size),
         window,
         tower_ids,
         split_across_slots=split_across_slots,
+        workers=workers,
+        prepare=prepare,
     )

@@ -494,3 +494,158 @@ class TestCLIErrorPaths:
         err = capsys.readouterr().err
         assert "window" in err and str(trace) in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestParallelCLI:
+    """Validation and end-to-end paths of --workers (shard-parallel ingest)."""
+
+    def _generate(self, tmp_path, *, towers=20, days=3, seed=9):
+        trace_dir = tmp_path / "gen"
+        assert main(
+            [
+                "generate",
+                "--towers", str(towers),
+                "--users", "50",
+                "--days", str(days),
+                "--seed", str(seed),
+                "--output", str(trace_dir),
+            ]
+        ) == 0
+        return trace_dir
+
+    def test_chunk_size_zero_exits_2(self, capsys):
+        exit_code = main(["fit", "--towers", "10", "--chunk-size", "0"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--chunk-size must be a positive record count" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_chunk_size_negative_exits_2(self, capsys):
+        assert main(["fit", "--towers", "10", "--chunk-size", "-5"]) == 2
+        assert "--chunk-size must be a positive" in capsys.readouterr().err
+
+    def test_workers_below_minus_one_exits_2(self, capsys):
+        exit_code = main(["fit", "--towers", "10", "--workers", "-3"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= -1" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fit_workers_without_streaming_input_exits_2(self, capsys):
+        # Not silently serial: --workers without --trace/--chunk-size errors.
+        exit_code = main(["fit", "--towers", "10", "--workers", "2"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--workers needs a streaming input" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fit_workers_with_trace_but_no_chunk_size_exits_2(self, tmp_path, capsys):
+        trace_dir = self._generate(tmp_path)
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "fit",
+                "--trace", str(trace_dir / "trace.csv"),
+                "--stations", str(trace_dir / "stations.csv"),
+                "--workers", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "--workers needs a streaming input" in capsys.readouterr().err
+
+    def test_update_workers_without_chunk_size_exits_2(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "15",
+                "--users", "40",
+                "--days", "2",
+                "--seed", "2",
+                "--clusters", "3",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "update",
+                "--model", str(bundle),
+                "--input", str(bundle / "whatever.csv"),
+                "--workers", "2",
+            ]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--workers needs --chunk-size" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_parallel_fit_matches_serial_chunked_fit(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.io.persist import load_model
+
+        trace_dir = self._generate(tmp_path)
+        bundles = {}
+        for name, extra in (
+            ("serial", []),
+            ("parallel", ["--workers", "2"]),
+        ):
+            bundle = tmp_path / name
+            assert main(
+                [
+                    "fit",
+                    "--trace", str(trace_dir / "trace.csv"),
+                    "--stations", str(trace_dir / "stations.csv"),
+                    "--days", "3",
+                    "--clusters", "3",
+                    "--chunk-size", "4000",
+                    "--save", str(bundle),
+                    *extra,
+                ]
+            ) == 0
+            bundles[name] = load_model(bundle).result
+        capsys.readouterr()
+        serial = bundles["serial"].vectorized.raw.traffic
+        parallel = bundles["parallel"].vectorized.raw.traffic
+        assert np.allclose(parallel, serial, rtol=1e-9, atol=0.0)
+        # The parallel bundle serves queries like any other.
+        assert main(["query", "--model", str(tmp_path / "parallel")]) == 0
+        assert "traffic patterns" in capsys.readouterr().out
+
+    def test_parallel_update_matches_serial_chunked_update(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.io.persist import load_model
+
+        trace_dir = self._generate(tmp_path, seed=13)
+        base = tmp_path / "base"
+        assert main(
+            [
+                "fit",
+                "--trace", str(trace_dir / "trace.csv"),
+                "--stations", str(trace_dir / "stations.csv"),
+                "--days", "3",
+                "--clusters", "3",
+                "--save", str(base),
+            ]
+        ) == 0
+        fresh_dir = self._generate(tmp_path / "fresh", seed=14)
+        for name, extra in (
+            ("serial-upd", []),
+            ("parallel-upd", ["--workers", "2"]),
+        ):
+            assert main(
+                [
+                    "update",
+                    "--model", str(base),
+                    "--input", str(fresh_dir / "trace.csv"),
+                    "--chunk-size", "4000",
+                    "--save", str(tmp_path / name),
+                    *extra,
+                ]
+            ) == 0
+        capsys.readouterr()
+        serial = load_model(tmp_path / "serial-upd").result.vectorized.raw.traffic
+        parallel = load_model(tmp_path / "parallel-upd").result.vectorized.raw.traffic
+        assert np.allclose(parallel, serial, rtol=1e-9, atol=0.0)
