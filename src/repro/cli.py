@@ -74,6 +74,27 @@ def _require_file(path: str, what: str) -> Path:
     return resolved
 
 
+def _cluster_options(args: argparse.Namespace) -> tuple[str, int | None]:
+    """Validate ``--cluster-backend``/``--cluster-tile-size``.
+
+    Returns ``(backend, tile_size)`` with ``tile_size=None`` meaning "use the
+    default"; bad values fail with the one-line exit-2 operational style.
+    """
+    backend = getattr(args, "cluster_backend", "auto")
+    if backend not in BACKEND_CHOICES:
+        raise CLIError(
+            f"--cluster-backend must be one of {', '.join(BACKEND_CHOICES)}; "
+            f"got {backend!r}"
+        )
+    tile_size = getattr(args, "cluster_tile_size", None)
+    if tile_size is not None and tile_size <= 0:
+        raise CLIError(
+            f"--cluster-tile-size must be a positive tile edge length, "
+            f"got {tile_size}"
+        )
+    return backend, tile_size
+
+
 def _streaming_options(args: argparse.Namespace) -> tuple[int, int]:
     """Validate ``--chunk-size``/``--workers`` and resolve them to ints.
 
@@ -91,6 +112,26 @@ def _streaming_options(args: argparse.Namespace) -> tuple[int, int]:
             f"--workers must be >= -1 (0 = serial, -1 = all cores), got {workers}"
         )
     return chunk_size or 0, workers or 0
+
+
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster-backend",
+        default="auto",
+        metavar="NAME",
+        help="clustering backend: auto (picks the fastest engine for the "
+        "linkage, switching to the memory-bounded nn_chain_lowmem above "
+        "20k towers), generic, nn_chain, or nn_chain_lowmem",
+    )
+    parser.add_argument(
+        "--cluster-tile-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tile edge of the memory-bounded backend's blocked distance "
+        "scans (default 1024 ≈ 8 MB per tile; results are identical for "
+        "every tile size)",
+    )
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -135,12 +176,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario | None]:
     chunk_size, workers = _streaming_options(args)
-    config = ModelConfig(
+    backend, tile_size = _cluster_options(args)
+    config_kwargs = dict(
         max_clusters=args.max_clusters,
         num_clusters=args.clusters,
-        cluster_backend=args.cluster_backend,
+        cluster_backend=backend,
         workers=workers,
     )
+    if tile_size is not None:
+        config_kwargs["cluster_tile_size"] = tile_size
+    config = ModelConfig(**config_kwargs)
     model = TrafficPatternModel(config)
 
     if chunk_size and not args.trace:
@@ -462,12 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fit.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     fit.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
-    fit.add_argument(
-        "--cluster-backend",
-        choices=list(BACKEND_CHOICES),
-        default="auto",
-        help="clustering backend (auto picks the fastest for the linkage)",
-    )
+    _add_cluster_arguments(fit)
     fit.add_argument(
         "--timings", action="store_true", help="print per-stage wall-clock timings"
     )
@@ -556,12 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decompose.add_argument("--clusters", type=int, default=None, help="fixed number of clusters")
     decompose.add_argument("--max-clusters", type=int, default=10, help="tuner upper bound")
-    decompose.add_argument(
-        "--cluster-backend",
-        choices=list(BACKEND_CHOICES),
-        default="auto",
-        help="clustering backend (auto picks the fastest for the linkage)",
-    )
+    _add_cluster_arguments(decompose)
     decompose.add_argument(
         "--tower-ids", type=int, nargs="*", default=None, help="tower ids to decompose"
     )

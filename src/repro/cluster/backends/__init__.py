@@ -10,8 +10,15 @@ interface (:class:`~repro.cluster.backends.base.ClusteringBackend`):
   average, Ward) and producing identical cuts to ``generic`` on tie-free
   distances (exact ties are broken differently, as any two valid
   agglomerative implementations may).
-* ``auto`` — picks ``nn_chain`` whenever the linkage allows it, else falls
-  back to ``generic``.  This is the default everywhere.
+* ``nn_chain_lowmem`` — the same chain agglomeration computed on the fly
+  from the ``(n, d)`` feature matrix in BLAS tiles, never holding any
+  pairwise matrix: O(n·d + tile²) peak extra memory instead of O(n²), the
+  backend for 50k–100k+ towers where the condensed array alone is 10–40 GB.
+  Restricted to the reducible linkages like ``nn_chain``.
+* ``auto`` — picks ``nn_chain`` whenever the linkage allows it, upgrading
+  to ``nn_chain_lowmem`` when the observation count is known to be at or
+  above :data:`AUTO_LOWMEM_THRESHOLD` (where O(n²) memory stops being
+  viable), else falls back to ``generic``.  This is the default everywhere.
 """
 
 from __future__ import annotations
@@ -19,14 +26,24 @@ from __future__ import annotations
 from repro.cluster.backends.base import ClusteringBackend
 from repro.cluster.backends.generic import GenericBackend
 from repro.cluster.backends.nn_chain import NNChainBackend
+from repro.cluster.backends.nn_chain_lowmem import (
+    DEFAULT_TILE_SIZE,
+    NNChainLowMemBackend,
+)
 from repro.cluster.linkage import Linkage
 
 #: Sentinel name selecting the fastest backend supporting the linkage.
 AUTO_BACKEND = "auto"
 
+#: Observation count from which ``auto`` switches to the memory-bounded
+#: backend: at 20k towers the condensed array is ~1.6 GB and the dense
+#: square ~3.2 GB, so the O(n²) engines start to be RAM-bound.
+AUTO_LOWMEM_THRESHOLD = 20_000
+
 _REGISTRY: dict[str, type[ClusteringBackend]] = {
     GenericBackend.name: GenericBackend,
     NNChainBackend.name: NNChainBackend,
+    NNChainLowMemBackend.name: NNChainLowMemBackend,
 }
 
 #: Names of the concrete backends.
@@ -36,21 +53,36 @@ BACKEND_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
 BACKEND_CHOICES: tuple[str, ...] = (AUTO_BACKEND, *BACKEND_NAMES)
 
 
-def get_backend(name: str) -> ClusteringBackend:
-    """Return a new instance of the backend registered under ``name``."""
+def get_backend(name: str, *, tile_size: int | None = None) -> ClusteringBackend:
+    """Return a new instance of the backend registered under ``name``.
+
+    ``tile_size`` configures the blocked-scan tile of backends that take
+    one (currently ``nn_chain_lowmem``) and is ignored by the others.
+    """
     try:
         backend_cls = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown clustering backend {name!r}; choose from {sorted(_REGISTRY)}"
         ) from None
+    if tile_size is not None and issubclass(backend_cls, NNChainLowMemBackend):
+        return backend_cls(tile_size=tile_size)
     return backend_cls()
 
 
 def resolve_backend(
-    spec: str | ClusteringBackend, linkage: Linkage
+    spec: str | ClusteringBackend,
+    linkage: Linkage,
+    *,
+    num_observations: int | None = None,
+    tile_size: int | None = None,
 ) -> ClusteringBackend:
     """Resolve a backend spec (name, ``"auto"`` or instance) for ``linkage``.
+
+    ``num_observations``, when known, lets ``"auto"`` pick the
+    memory-bounded ``nn_chain_lowmem`` engine at and above
+    :data:`AUTO_LOWMEM_THRESHOLD` observations; without it ``auto`` keeps
+    the condensed ``nn_chain`` (or ``generic`` for non-reducible linkages).
 
     Raises
     ------
@@ -66,8 +98,15 @@ def resolve_backend(
         return spec
     if spec == AUTO_BACKEND:
         fast = NNChainBackend()
-        return fast if fast.supports(linkage) else GenericBackend()
-    backend = get_backend(spec)
+        if not fast.supports(linkage):
+            return GenericBackend()
+        if (
+            num_observations is not None
+            and num_observations >= AUTO_LOWMEM_THRESHOLD
+        ):
+            return NNChainLowMemBackend(tile_size=tile_size)
+        return fast
+    backend = get_backend(spec, tile_size=tile_size)
     if not backend.supports(linkage):
         raise ValueError(
             f"backend {spec!r} does not support linkage {linkage.value!r}"
@@ -77,11 +116,14 @@ def resolve_backend(
 
 __all__ = [
     "AUTO_BACKEND",
+    "AUTO_LOWMEM_THRESHOLD",
     "BACKEND_CHOICES",
     "BACKEND_NAMES",
+    "DEFAULT_TILE_SIZE",
     "ClusteringBackend",
     "GenericBackend",
     "NNChainBackend",
+    "NNChainLowMemBackend",
     "get_backend",
     "resolve_backend",
 ]

@@ -20,7 +20,7 @@ import abc
 
 import numpy as np
 
-from repro.cluster.distance import condensed_from_square
+from repro.cluster.distance import condensed_from_square, euclidean_distance_matrix
 from repro.cluster.linkage import Linkage
 
 
@@ -33,6 +33,20 @@ class ClusteringBackend(abc.ABC):
 
     #: Registry key of the backend (e.g. ``"generic"``, ``"nn_chain"``).
     name: str = "abstract"
+
+    #: ``True`` when the backend can agglomerate straight from the ``(n, d)``
+    #: feature matrix without any pairwise-distance materialisation
+    #: (:meth:`compute_merges_from_features` is then its native entry point,
+    #: and callers holding features should prefer it — no O(n²) allocation).
+    accepts_features: bool = False
+
+    #: ``True`` when the backend's working representation is the condensed
+    #: array itself.  Callers that built a dense matrix only as a stepping
+    #: stone can then condense it, free the square form, and hand the
+    #: condensed array over via :meth:`consume_condensed` — peak memory
+    #: drops from 2× the square matrix to 1.5× transiently and 0.5× during
+    #: the agglomeration.
+    prefers_condensed: bool = False
 
     @abc.abstractmethod
     def supports(self, linkage: Linkage) -> bool:
@@ -70,12 +84,47 @@ class ClusteringBackend(abc.ABC):
     ) -> np.ndarray:
         """Return the merge matrix for a square ``(n, n)`` distance matrix.
 
-        The default condenses and delegates to :meth:`compute_merges`;
-        backends whose working representation *is* the square matrix
-        override this to skip the round trip.  ``square`` is never mutated.
+        The default condenses and delegates to :meth:`consume_condensed`
+        (the freshly condensed array is owned, so backends may run on it in
+        place without another copy); backends whose working representation
+        *is* the square matrix override this to skip the round trip.
+        ``square`` is never mutated.
         """
-        return self.compute_merges(
+        return self.consume_condensed(
             condensed_from_square(square), square.shape[0], linkage
+        )
+
+    def consume_condensed(
+        self,
+        condensed: np.ndarray,
+        num_observations: int,
+        linkage: Linkage,
+    ) -> np.ndarray:
+        """Like :meth:`compute_merges`, but ``condensed`` ownership transfers.
+
+        The caller promises not to reuse ``condensed`` afterwards, so
+        backends whose working form is the condensed array may mutate it in
+        place instead of taking a defensive copy.  The default delegates to
+        :meth:`compute_merges` (which never mutates its input).
+        """
+        return self.compute_merges(condensed, num_observations, linkage)
+
+    def compute_merges_from_features(
+        self, features: np.ndarray, linkage: Linkage
+    ) -> np.ndarray:
+        """Return the merge matrix for an ``(n, d)`` Euclidean feature matrix.
+
+        The default materialises the dense distance matrix and delegates to
+        :meth:`compute_merges_from_square`.  Memory-bounded backends
+        (:attr:`accepts_features` ``True``) override this to compute
+        distances on the fly in blocks, never holding any O(n²) form;
+        ``features`` is never mutated.
+        """
+        arr = np.asarray(features, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {arr.shape}")
+        return self.compute_merges_from_square(
+            euclidean_distance_matrix(arr), linkage
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

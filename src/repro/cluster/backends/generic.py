@@ -31,18 +31,23 @@ class GenericBackend(ClusteringBackend):
         num_observations: int,
         linkage: Linkage,
     ) -> np.ndarray:
-        return self.compute_merges_from_square(
+        # square_from_condensed returns a freshly allocated matrix, so the
+        # agglomeration can run on it directly — no defensive copy on top.
+        return self._agglomerate(
             square_from_condensed(condensed, num_observations), linkage
         )
 
     def compute_merges_from_square(
         self, square: np.ndarray, linkage: Linkage
     ) -> np.ndarray:
-        n = square.shape[0]
+        return self._agglomerate(np.array(square, dtype=float, copy=True), linkage)
+
+    def _agglomerate(self, work: np.ndarray, linkage: Linkage) -> np.ndarray:
+        """Run the full-matrix loop on ``work`` (owned, mutated in place)."""
+        n = work.shape[0]
         if n <= 1:
             return np.empty((0, 4))
 
-        work = np.array(square, dtype=float, copy=True)
         use_squared = linkage is Linkage.WARD
         if use_squared:
             work **= 2

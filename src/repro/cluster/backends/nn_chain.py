@@ -42,6 +42,7 @@ class NNChainBackend(ClusteringBackend):
     """O(n²) nearest-neighbor-chain agglomeration for reducible linkages."""
 
     name = "nn_chain"
+    prefers_condensed = True
 
     def supports(self, linkage: Linkage) -> bool:
         return linkage in _REDUCIBLE_LINKAGES
@@ -52,6 +53,29 @@ class NNChainBackend(ClusteringBackend):
         num_observations: int,
         linkage: Linkage,
     ) -> np.ndarray:
+        work = np.asarray(condensed, dtype=float).ravel().copy()
+        return self._agglomerate(work, num_observations, linkage)
+
+    def consume_condensed(
+        self,
+        condensed: np.ndarray,
+        num_observations: int,
+        linkage: Linkage,
+    ) -> np.ndarray:
+        """In-place variant: ``condensed`` is owned by the backend and
+        mutated instead of copied, halving the backend's working memory.
+
+        ``asarray(...).ravel()`` either aliases the transferred buffer
+        (mutating it is exactly the ownership contract) or made a fresh
+        dtype/contiguity conversion that nobody else references.
+        """
+        work = np.asarray(condensed, dtype=float).ravel()
+        return self._agglomerate(work, num_observations, linkage)
+
+    def _agglomerate(
+        self, work: np.ndarray, num_observations: int, linkage: Linkage
+    ) -> np.ndarray:
+        """Run the chain on ``work`` (owned, mutated in place)."""
         if not self.supports(linkage):
             raise ValueError(
                 f"the nn_chain backend requires a reducible linkage, got {linkage!r}"
@@ -60,7 +84,6 @@ class NNChainBackend(ClusteringBackend):
         if n <= 1:
             return np.empty((0, 4))
 
-        work = np.asarray(condensed, dtype=float).ravel().copy()
         use_squared = linkage is Linkage.WARD
         if use_squared:
             work **= 2

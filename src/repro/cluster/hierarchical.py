@@ -9,9 +9,11 @@ dendrogram so the same fit can be cut at any distance threshold or any
 target number of clusters without re-running the clustering.
 
 The merge history itself is computed by a pluggable backend (see
-:mod:`repro.cluster.backends`): the ``generic`` full-matrix reference, or
-the O(n²) ``nn_chain`` nearest-neighbor-chain engine picked automatically
-for the reducible linkages.
+:mod:`repro.cluster.backends`): the ``generic`` full-matrix reference, the
+O(n²) ``nn_chain`` nearest-neighbor-chain engine picked automatically for
+the reducible linkages, or the memory-bounded ``nn_chain_lowmem`` engine —
+on-the-fly blocked distances, no pairwise matrix — picked automatically
+above 20k observations.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.backends import AUTO_BACKEND, ClusteringBackend, resolve_backend
-from repro.cluster.distance import euclidean_distance_matrix
+from repro.cluster.distance import condensed_from_square, euclidean_distance_matrix
 from repro.cluster.linkage import Linkage
 
 
@@ -174,11 +176,18 @@ class AgglomerativeClustering:
         Linkage criterion; the paper uses :attr:`Linkage.AVERAGE`.
     backend:
         Merge-history engine: ``"auto"`` (default — the O(n²)
-        nearest-neighbor-chain engine whenever the linkage allows it),
-        ``"generic"``, ``"nn_chain"``, or a
+        nearest-neighbor-chain engine whenever the linkage allows it,
+        upgraded to the memory-bounded ``nn_chain_lowmem`` engine above
+        :data:`~repro.cluster.backends.AUTO_LOWMEM_THRESHOLD` observations
+        when fitting from vectors), ``"generic"``, ``"nn_chain"``,
+        ``"nn_chain_lowmem"``, or a
         :class:`~repro.cluster.backends.ClusteringBackend` instance.
         Backends produce identical cuts on tie-free distances and differ
-        only in speed; exact ties may be broken differently.
+        only in speed and memory; exact ties may be broken differently.
+    tile_size:
+        Blocked-scan tile edge of the memory-bounded backend (ignored by
+        the others); ``None`` keeps the backend default.  Results are
+        equivalent for every tile size.
     """
 
     def __init__(
@@ -186,9 +195,14 @@ class AgglomerativeClustering:
         *,
         linkage: Linkage = Linkage.AVERAGE,
         backend: str | ClusteringBackend = AUTO_BACKEND,
+        tile_size: int | None = None,
     ) -> None:
         self.linkage = linkage
-        self.backend = resolve_backend(backend, linkage)
+        self.tile_size = tile_size
+        self._backend_spec = backend
+        # Eager name/linkage validation; ``fit`` re-resolves "auto" once the
+        # observation count is known so large fits get the lowmem engine.
+        self.backend = resolve_backend(backend, linkage, tile_size=tile_size)
 
     def fit(
         self,
@@ -209,19 +223,45 @@ class AgglomerativeClustering:
             distances = np.asarray(precomputed_distances, dtype=float)
             if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
                 raise ValueError("precomputed_distances must be a square matrix")
-        else:
-            arr = np.asarray(vectors, dtype=float)
-            if arr.ndim != 2:
-                raise ValueError(f"vectors must be 2-D, got shape {arr.shape}")
-            if arr.shape[0] < 1:
-                raise ValueError("need at least one observation")
-            distances = euclidean_distance_matrix(arr)
+            n = distances.shape[0]
+            if n == 1:
+                return Dendrogram(merges=np.empty((0, 4)), num_observations=1)
+            merges = self.backend.compute_merges_from_square(
+                distances, self.linkage
+            )
+            return Dendrogram(merges=merges, num_observations=n)
 
-        n = distances.shape[0]
+        arr = np.asarray(vectors, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {arr.shape}")
+        if arr.shape[0] < 1:
+            raise ValueError("need at least one observation")
+        n = arr.shape[0]
         if n == 1:
             return Dendrogram(merges=np.empty((0, 4)), num_observations=1)
 
-        merges = self.backend.compute_merges_from_square(distances, self.linkage)
+        backend = resolve_backend(
+            self._backend_spec,
+            self.linkage,
+            num_observations=n,
+            tile_size=self.tile_size,
+        )
+        if backend.accepts_features:
+            # Memory-bounded path: no pairwise matrix is ever materialised.
+            merges = backend.compute_merges_from_features(arr, self.linkage)
+        elif backend.prefers_condensed:
+            # Build the dense matrix only as a stepping stone: condense,
+            # free the square form, and transfer ownership of the condensed
+            # array so the backend runs on it in place (peak 1.5× the square
+            # instead of 2×, and 0.5× during the agglomeration itself).
+            square = euclidean_distance_matrix(arr)
+            condensed = condensed_from_square(square)
+            del square
+            merges = backend.consume_condensed(condensed, n, self.linkage)
+        else:
+            merges = backend.compute_merges_from_square(
+                euclidean_distance_matrix(arr), self.linkage
+            )
         return Dendrogram(merges=merges, num_observations=n)
 
     def fit_predict(

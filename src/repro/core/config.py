@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.backends import BACKEND_CHOICES
+from repro.cluster.backends import BACKEND_CHOICES, DEFAULT_TILE_SIZE
 from repro.cluster.linkage import Linkage
 from repro.vectorize.normalize import NormalizationMethod
 
@@ -24,9 +24,16 @@ class ModelConfig:
     cluster_backend:
         Merge-history engine of the clustering stage: ``"auto"`` (default —
         the O(n²) nearest-neighbor-chain backend whenever the linkage
-        allows it), ``"generic"`` or ``"nn_chain"``.  Backends produce
-        identical cuts on tie-free distances and differ only in speed;
-        exact ties may be broken differently.
+        allows it, upgraded to the memory-bounded ``nn_chain_lowmem``
+        engine above 20k towers), ``"generic"``, ``"nn_chain"`` or
+        ``"nn_chain_lowmem"``.  Backends produce identical cuts on
+        tie-free distances and differ only in speed and memory; exact ties
+        may be broken differently.
+    cluster_tile_size:
+        Edge length of the blocked distance tiles used by the
+        memory-bounded clustering backend (1024² float64 ≈ 8 MB per tile);
+        ignored by the O(n²) backends.  Results are equivalent for every
+        tile size — this only trades peak memory against BLAS call count.
     validity_index:
         Validity index minimised/maximised by the metric tuner
         (``"davies_bouldin"`` in the paper).
@@ -58,6 +65,7 @@ class ModelConfig:
     normalization: NormalizationMethod = NormalizationMethod.ZSCORE
     linkage: Linkage = Linkage.AVERAGE
     cluster_backend: str = "auto"
+    cluster_tile_size: int = DEFAULT_TILE_SIZE
     validity_index: str = "davies_bouldin"
     min_clusters: int = 2
     max_clusters: int = 10
@@ -78,6 +86,10 @@ class ModelConfig:
             raise ValueError(
                 f"unknown cluster_backend {self.cluster_backend!r}; "
                 f"choose from {list(BACKEND_CHOICES)}"
+            )
+        if self.cluster_tile_size <= 0:
+            raise ValueError(
+                f"cluster_tile_size must be positive, got {self.cluster_tile_size}"
             )
         if self.min_clusters < 2:
             raise ValueError(f"min_clusters must be at least 2, got {self.min_clusters}")

@@ -10,9 +10,13 @@ from repro.utils.fingerprint import fingerprint
 class ClusterStage:
     """Fit the full dendrogram of the normalised traffic vectors.
 
-    The merge-history backend (``auto``/``generic``/``nn_chain``) comes from
-    ``ModelConfig.cluster_backend``; ``auto`` picks the O(n²)
-    nearest-neighbor-chain engine for every reducible linkage.
+    The merge-history backend (``auto``/``generic``/``nn_chain``/
+    ``nn_chain_lowmem``) comes from ``ModelConfig.cluster_backend``;
+    ``auto`` picks the O(n²) nearest-neighbor-chain engine for every
+    reducible linkage, upgrading to the memory-bounded blocked engine
+    above 20k towers.  The clusterer feeds the backend the feature matrix
+    directly, so memory-bounded backends never see a pairwise matrix;
+    ``ModelConfig.cluster_tile_size`` bounds their scan tiles.
     """
 
     name = "cluster"
@@ -31,7 +35,9 @@ class ClusterStage:
         cfg = context.config
         vectorized = context.require("vectorized")
         clusterer = AgglomerativeClustering(
-            linkage=cfg.linkage, backend=cfg.cluster_backend
+            linkage=cfg.linkage,
+            backend=cfg.cluster_backend,
+            tile_size=cfg.cluster_tile_size,
         )
         dendrogram = clusterer.fit(vectorized.vectors)
         context.set("dendrogram", dendrogram, producer=self.name)

@@ -35,6 +35,7 @@ from typing import Any
 import numpy as np
 
 from repro import __version__
+from repro.cluster.backends import DEFAULT_TILE_SIZE
 from repro.cluster.hierarchical import ClusteringResult, Dendrogram
 from repro.cluster.linkage import Linkage
 from repro.cluster.tuner import TuningCurve
@@ -87,6 +88,7 @@ def config_to_manifest(config: ModelConfig) -> dict:
         "normalization": config.normalization.value,
         "linkage": config.linkage.value,
         "cluster_backend": config.cluster_backend,
+        "cluster_tile_size": config.cluster_tile_size,
         "validity_index": config.validity_index,
         "min_clusters": config.min_clusters,
         "max_clusters": config.max_clusters,
@@ -104,6 +106,9 @@ def config_from_manifest(data: dict) -> ModelConfig:
         normalization=NormalizationMethod(data["normalization"]),
         linkage=Linkage(data["linkage"]),
         cluster_backend=data["cluster_backend"],
+        # Bundles written before the memory-bounded clustering backend carry
+        # no tile size; they load with the default tile.
+        cluster_tile_size=int(data.get("cluster_tile_size", DEFAULT_TILE_SIZE)),
         validity_index=data["validity_index"],
         min_clusters=int(data["min_clusters"]),
         max_clusters=int(data["max_clusters"]),

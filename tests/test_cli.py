@@ -27,8 +27,24 @@ class TestParser:
     def test_cluster_backend_choices(self):
         args = build_parser().parse_args(["fit", "--cluster-backend", "nn_chain"])
         assert args.cluster_backend == "nn_chain"
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["fit", "--cluster-backend", "bogus"])
+
+    def test_unknown_cluster_backend_is_operational_error(self, capsys):
+        # Unknown backend names fail as one-line exit-2 operational errors
+        # (not argparse usage dumps), like --workers/--chunk-size.
+        exit_code = main(["fit", "--towers", "10", "--cluster-backend", "bogus"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--cluster-backend" in err and "bogus" in err
+        assert "nn_chain_lowmem" in err
+
+    @pytest.mark.parametrize("bad", ["0", "-5"])
+    def test_nonpositive_cluster_tile_size_is_operational_error(self, bad, capsys):
+        exit_code = main(["fit", "--towers", "10", "--cluster-tile-size", bad])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--cluster-tile-size" in err and bad in err
 
 
 class TestGenerate:

@@ -51,8 +51,8 @@ def partitions_equal(a, b):
 
 class TestRegistry:
     def test_backend_names(self):
-        assert BACKEND_NAMES == ("generic", "nn_chain")
-        assert BACKEND_CHOICES == ("auto", "generic", "nn_chain")
+        assert BACKEND_NAMES == ("generic", "nn_chain", "nn_chain_lowmem")
+        assert BACKEND_CHOICES == ("auto", "generic", "nn_chain", "nn_chain_lowmem")
 
     def test_get_backend(self):
         assert isinstance(get_backend("generic"), GenericBackend)
