@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Five subcommands cover the everyday workflow without writing Python:
+Six subcommands cover the everyday workflow without writing Python:
 
 ``repro-traffic generate``
     Generate a synthetic scenario and write the raw trace (records CSV) plus
@@ -8,7 +8,7 @@ Five subcommands cover the everyday workflow without writing Python:
 
 ``repro-traffic fit``
     Fit the traffic-pattern model either on a previously generated trace
-    (``--trace``/``--stations``) or on a fresh synthetic scenario, print the
+    (``--input``/``--stations``) or on a fresh synthetic scenario, print the
     Table-1 style summary, optionally export per-tower cluster/region
     assignments as CSV and persist the fitted model (``--save``).
 
@@ -27,9 +27,20 @@ Five subcommands cover the everyday workflow without writing Python:
     components, either from a persisted bundle (``--model``) or by fitting
     first (trace or fresh synthetic scenario).
 
-Operational failures — a missing input file, a corrupt or
-version-mismatched model bundle — exit with code 2 and a path-qualified
-one-line message on stderr instead of a traceback.
+``repro-traffic stats``
+    Print a persisted bundle's provenance — versions, window, fit
+    configuration, stage timings — and render its ``trace.json`` telemetry
+    sidecar when one was written by a traced fit/update.
+
+``fit``, ``update`` and ``query`` accept ``--trace[=PATH]`` to record a
+hierarchical span trace (plus a metrics snapshot): the span tree is printed
+after the run, written to ``PATH`` as JSON when given, and saved as a
+``trace.json`` sidecar next to any ``--save`` bundle.  Tracing is off by
+default and the untraced outputs are bit-for-bit unchanged.
+
+Operational failures — a missing input file, an unwritable ``--trace``
+target, a corrupt or version-mismatched model bundle — exit with code 2 and
+a path-qualified one-line message on stderr instead of a traceback.
 
 Run ``repro-traffic <subcommand> --help`` for the full option list.
 """
@@ -37,6 +48,8 @@ Run ``repro-traffic <subcommand> --help`` for the full option list.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -53,11 +66,18 @@ from repro.ingest.loader import (
 )
 from repro.ingest.preprocess import preprocess_trace
 from repro.ingest.records import BaseStationInfo
-from repro.io.persist import PersistError
+from repro.io.persist import (
+    PersistError,
+    read_manifest,
+    read_trace_sidecar,
+    write_trace_sidecar,
+)
 from repro.io.server import ModelServer
+from repro.obs import MetricsRegistry, Tracer
 from repro.synth.scenario import Scenario, ScenarioConfig, generate_scenario
 from repro.utils.timeutils import TimeWindow
 from repro.vectorize.parallel import clean_chunk
+from repro.viz.ascii import render_trace_tree
 from repro.viz.export import export_json, export_rows_csv
 from repro.viz.tables import decomposition_table, format_table
 
@@ -112,6 +132,68 @@ def _streaming_options(args: argparse.Namespace) -> tuple[int, int]:
             f"--workers must be >= -1 (0 = serial, -1 = all cores), got {workers}"
         )
     return chunk_size or 0, workers or 0
+
+
+def _trace_options(args: argparse.Namespace) -> tuple[bool, Path | None]:
+    """Validate ``--trace[=PATH]`` and resolve it to ``(enabled, path)``.
+
+    ``--trace`` alone enables tracing without a JSON file (the span tree is
+    still printed, and a sidecar still lands next to any ``--save`` bundle).
+    With a path, the target must be writable *before* the run starts — a
+    multi-minute fit that fails to write its trace at the very end is the
+    worst possible failure mode — so an unwritable target is the usual
+    one-line exit-2 operational error.
+    """
+    value = getattr(args, "trace", None)
+    if value is None:
+        return False, None
+    if value == "":
+        return True, None
+    path = Path(value)
+    if path.is_dir():
+        raise CLIError(f"{path}: --trace target is a directory, expected a file path")
+    parent = path.parent if str(path.parent) else Path(".")
+    if not parent.is_dir():
+        raise CLIError(
+            f"{path}: cannot write trace: directory {parent} does not exist"
+        )
+    if not os.access(parent, os.W_OK):
+        raise CLIError(
+            f"{path}: cannot write trace: directory {parent} is not writable"
+        )
+    return True, path
+
+
+def _trace_payload(tracer: Tracer, metrics: MetricsRegistry) -> dict:
+    """The JSON payload of a traced run: the trace dict plus a metrics key."""
+    payload = tracer.to_dict()
+    payload["metrics"] = metrics.snapshot()
+    return payload
+
+
+def _emit_trace(payload: dict, trace_path: Path | None) -> None:
+    """Print the span tree and write the payload JSON when a path was given."""
+    print("\ntrace:")
+    print(render_trace_tree(payload))
+    if trace_path is not None:
+        try:
+            trace_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        except OSError as err:
+            raise CLIError(f"{trace_path}: cannot write trace: {err}") from None
+        print(f"wrote trace to {trace_path}")
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record a hierarchical span trace of the run: print the span "
+        "tree, write it (plus a metrics snapshot) to PATH as JSON when "
+        "given, and save a trace.json sidecar next to any --save bundle",
+    )
 
 
 def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
@@ -174,7 +256,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario | None]:
+def _fit_model(
+    args: argparse.Namespace,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[TrafficPatternModel, Scenario | None]:
     chunk_size, workers = _streaming_options(args)
     backend, tile_size = _cluster_options(args)
     config_kwargs = dict(
@@ -188,19 +275,19 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
     config = ModelConfig(**config_kwargs)
     model = TrafficPatternModel(config)
 
-    if chunk_size and not args.trace:
-        raise SystemExit("--chunk-size only applies when fitting from --trace")
-    if workers and not (args.trace and chunk_size):
+    if chunk_size and not args.input:
+        raise SystemExit("--chunk-size only applies when fitting from --input")
+    if workers and not (args.input and chunk_size):
         # Without a chunked trace there is nothing to shard; erroring beats
         # accepting the flag and running silently serial.
         raise CLIError(
-            "--workers needs a streaming input: pass --trace together with "
+            "--workers needs a streaming input: pass --input together with "
             "--chunk-size so the trace is read in shardable chunks"
         )
-    if args.trace:
+    if args.input:
         if not args.stations:
-            raise SystemExit("--stations is required when --trace is given")
-        _require_file(args.trace, "trace file")
+            raise SystemExit("--stations is required when --input is given")
+        _require_file(args.input, "trace file")
         _require_file(args.stations, "stations file")
         stations = read_stations_csv(args.stations)
         tower_ids = [station.tower_id for station in stations]
@@ -212,10 +299,11 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
             # --workers the chunks fan out to a multiprocessing pool that
             # cleans and scatters into shared-memory shard grids while the
             # main process keeps reading the CSV.
-            chunks = iter_record_batches_csv(args.trace, chunk_size=chunk_size)
+            chunks = iter_record_batches_csv(args.input, chunk_size=chunk_size)
             if workers:
                 model.fit_batches(
-                    chunks, window, tower_ids, workers=workers, prepare=clean_chunk
+                    chunks, window, tower_ids, workers=workers,
+                    prepare=clean_chunk, tracer=tracer, metrics=metrics,
                 )
             else:
                 def cleaned_batches():
@@ -223,20 +311,28 @@ def _fit_model(args: argparse.Namespace) -> tuple[TrafficPatternModel, Scenario 
                         cleaned, _ = clean_batch(batch)
                         yield cleaned
 
-                model.fit_batches(cleaned_batches(), window, tower_ids)
+                model.fit_batches(
+                    cleaned_batches(), window, tower_ids,
+                    tracer=tracer, metrics=metrics,
+                )
             return model, None
-        batch = read_record_batch_csv(args.trace)
+        batch = read_record_batch_csv(args.input)
         preprocessed = preprocess_trace(batch, stations, None, compute_density=False)
-        model.fit_batch(preprocessed.record_batch(), window, tower_ids=tower_ids)
+        model.fit_batch(
+            preprocessed.record_batch(), window, tower_ids=tower_ids, tracer=tracer
+        )
         return model, None
 
     scenario = _build_scenario(args, sessions=False)
-    model.fit(scenario.traffic, city=scenario.city)
+    model.fit(scenario.traffic, city=scenario.city, tracer=tracer)
     return model, scenario
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    model, _ = _fit_model(args)
+    traced, trace_path = _trace_options(args)
+    tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if traced else None
+    model, _ = _fit_model(args, tracer=tracer, metrics=metrics)
     result = model.result
 
     print(f"identified {result.num_clusters} traffic patterns")
@@ -280,6 +376,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     if getattr(args, "save", None):
         bundle = model.save(args.save)
         print(f"\nsaved model bundle to {bundle}")
+        if traced:
+            sidecar = write_trace_sidecar(_trace_payload(tracer, metrics), bundle)
+            print(f"saved trace sidecar to {sidecar}")
+
+    if traced:
+        _emit_trace(_trace_payload(tracer, metrics), trace_path)
     return 0
 
 
@@ -330,6 +432,9 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 def _cmd_update(args: argparse.Namespace) -> int:
     chunk_size, workers = _streaming_options(args)
+    traced, trace_out = _trace_options(args)
+    tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if traced else None
     if workers and not chunk_size:
         raise CLIError(
             "--workers needs --chunk-size so the new trace is read in "
@@ -355,9 +460,11 @@ def _cmd_update(args: argparse.Namespace) -> int:
             iter_record_batches_csv(trace_path, chunk_size=chunk_size),
             workers=workers,
             prepare=clean_chunk,
+            tracer=tracer,
+            metrics=metrics,
         )
     else:
-        result = model.update(cleaned_batches())
+        result = model.update(cleaned_batches(), tracer=tracer, metrics=metrics)
     stats = result.extras.get("update_stats", {})
     seen = stats.get("records_seen", 0)
     folded = stats.get("records_folded", 0)
@@ -371,6 +478,8 @@ def _cmd_update(args: argparse.Namespace) -> int:
         )
     save_path = args.save or args.model
     bundle = model.save(save_path)
+    if traced:
+        write_trace_sidecar(_trace_payload(tracer, metrics), bundle)
 
     dropped = seen - folded
     suffix = f" ({dropped:,} outside the window/tower grid)" if dropped else ""
@@ -390,6 +499,8 @@ def _cmd_update(args: argparse.Namespace) -> int:
     print(f"stages reused: {', '.join(reused) if reused else '<none>'}")
     print(f"identified {result.num_clusters} traffic patterns")
     print(f"saved updated model bundle to {bundle}")
+    if traced:
+        _emit_trace(_trace_payload(tracer, metrics), trace_out)
     return 0
 
 
@@ -403,7 +514,10 @@ def _served(model_path: str, fn):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    server = ModelServer.from_artifact(args.model)
+    traced, trace_path = _trace_options(args)
+    tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if traced else None
+    server = ModelServer.from_artifact(args.model, tracer=tracer, metrics=metrics)
     result = server.result
     payload: dict[str, object] = {}
     explicit = bool(args.decompose or args.decompose_all or args.region or args.pattern)
@@ -468,6 +582,55 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.json:
         export_json(payload, args.json)
         print(f"\nwrote query results to {args.json}")
+
+    if traced:
+        _emit_trace(_trace_payload(tracer, metrics), trace_path)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    manifest = read_manifest(args.model)
+
+    window = manifest.get("window", {})
+    print(f"model bundle: {args.model}")
+    print(f"  format:           {manifest.get('format')} "
+          f"(schema v{manifest.get('schema_version')})")
+    print(f"  written by:       repro-traffic {manifest.get('package_version')}")
+    print(f"  window:           {window.get('num_days')} days "
+          f"(start weekday {window.get('start_weekday')})")
+
+    config = manifest.get("config", {})
+    print("  config:")
+    for key in sorted(config):
+        print(f"    {key:<24} {config[key]}")
+
+    extras = manifest.get("extras", {})
+    timings = extras.get("stage_timings", {})
+    if timings:
+        skipped = set(extras.get("stages_skipped", ()))
+        reused = set(extras.get("stages_reused", ()))
+        print("  stage timings (last fit/update):")
+        for stage_name, seconds in timings.items():
+            if stage_name in skipped:
+                detail = "skipped"
+            elif stage_name in reused:
+                detail = "reused"
+            else:
+                detail = f"{seconds * 1000.0:8.1f} ms"
+            print(f"    {stage_name:<10} {detail}")
+
+    sidecar = read_trace_sidecar(args.model)
+    if sidecar is None:
+        print("  trace sidecar:    none (re-fit with --trace to record one)")
+    else:
+        print("\ntrace (from trace.json sidecar):")
+        print(render_trace_tree(sidecar))
+        metrics = sidecar.get("metrics", {})
+        counters = metrics.get("counters", {}) if isinstance(metrics, dict) else {}
+        if counters:
+            print("\ncounters:")
+            for name in sorted(counters):
+                print(f"  {name:<28} {counters[name]:,}")
     return 0
 
 
@@ -487,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fit = subparsers.add_parser("fit", help="fit the traffic-pattern model")
     _add_scenario_arguments(fit)
-    fit.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
+    fit.add_argument("--input", help="records CSV produced by 'generate' (optional)")
     fit.add_argument("--stations", help="stations CSV produced by 'generate'")
     fit.add_argument(
         "--chunk-size",
@@ -517,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the fitted model as a bundle directory (NPZ arrays + "
         "JSON manifest) usable by 'update', 'query' and 'decompose --model'",
     )
+    _add_trace_argument(fit)
     fit.set_defaults(handler=_cmd_fit)
 
     update = subparsers.add_parser(
@@ -525,7 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     update.add_argument("--model", required=True, help="model bundle written by 'fit --save'")
     update.add_argument(
-        "--input", "--trace", dest="input", required=True,
+        "--input", required=True,
         help="records CSV with the new traffic (e.g. one fresh day)",
     )
     update.add_argument(
@@ -547,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workers (-1 uses all cores; requires --chunk-size; default is "
         "serial)",
     )
+    _add_trace_argument(update)
     update.set_defaults(handler=_cmd_update)
 
     query = subparsers.add_parser(
@@ -574,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="full pattern record (cluster, region, volume, peak) of these towers",
     )
     query.add_argument("--json", help="also write the query results to this JSON file")
+    _add_trace_argument(query)
     query.set_defaults(handler=_cmd_query)
 
     decompose = subparsers.add_parser(
@@ -585,7 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
         "re-fitting (trace/scenario options are ignored)",
     )
     _add_scenario_arguments(decompose)
-    decompose.add_argument("--trace", help="records CSV produced by 'generate' (optional)")
+    decompose.add_argument("--input", help="records CSV produced by 'generate' (optional)")
     decompose.add_argument("--stations", help="stations CSV produced by 'generate'")
     decompose.add_argument(
         "--chunk-size",
@@ -604,6 +770,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=5, help="how many comprehensive towers to decompose by default"
     )
     decompose.set_defaults(handler=_cmd_decompose)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="print a bundle's provenance, stage timings and trace sidecar",
+    )
+    stats.add_argument("--model", required=True, help="model bundle written by 'fit --save'")
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 

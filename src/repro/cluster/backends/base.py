@@ -48,6 +48,12 @@ class ClusteringBackend(abc.ABC):
     #: the agglomeration.
     prefers_condensed: bool = False
 
+    #: Counters of the most recent run (``merges``, plus backend-specific
+    #: keys such as ``chain_steps`` or ``tile_blocks``).  Observability
+    #: only — surfaced as trace-span counters, never persisted in results —
+    #: and overwritten by every compute call on the same instance.
+    last_stats: dict = {}
+
     @abc.abstractmethod
     def supports(self, linkage: Linkage) -> bool:
         """Return whether this backend can run the given linkage criterion."""

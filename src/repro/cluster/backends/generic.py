@@ -45,6 +45,7 @@ class GenericBackend(ClusteringBackend):
     def _agglomerate(self, work: np.ndarray, linkage: Linkage) -> np.ndarray:
         """Run the full-matrix loop on ``work`` (owned, mutated in place)."""
         n = work.shape[0]
+        self.last_stats = {"merges": max(n - 1, 0)}
         if n <= 1:
             return np.empty((0, 4))
 

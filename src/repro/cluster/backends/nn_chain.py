@@ -82,6 +82,7 @@ class NNChainBackend(ClusteringBackend):
             )
         n = num_observations
         if n <= 1:
+            self.last_stats = {"merges": 0, "chain_steps": 0}
             return np.empty((0, 4))
 
         use_squared = linkage is Linkage.WARD
@@ -100,6 +101,7 @@ class NNChainBackend(ClusteringBackend):
         heights = np.empty(n - 1)
         merged_sizes = np.empty(n - 1, dtype=np.int64)
         slots = np.arange(n)
+        chain_steps = 0
 
         for merge_index in range(n - 1):
             if chain_len == 0:
@@ -111,6 +113,7 @@ class NNChainBackend(ClusteringBackend):
             # ties keeps the walk from oscillating between equidistant
             # clusters and guarantees termination.
             while True:
+                chain_steps += 1
                 x = int(chain[chain_len - 1])
                 row = self._condensed_row(work, x, n)
                 row[x] = np.inf
@@ -160,6 +163,7 @@ class NNChainBackend(ClusteringBackend):
             active[y] = False
             sizes[x] = new_size
 
+        self.last_stats = {"merges": n - 1, "chain_steps": chain_steps}
         return _canonicalize(slot_a, slot_b, heights, merged_sizes, n)
 
     @staticmethod

@@ -87,7 +87,10 @@ class NNChainLowMemBackend(ClusteringBackend):
         num_observations: int,
         linkage: Linkage,
     ) -> np.ndarray:
-        return NNChainBackend().compute_merges(condensed, num_observations, linkage)
+        inner = NNChainBackend()
+        merges = inner.compute_merges(condensed, num_observations, linkage)
+        self.last_stats = inner.last_stats
+        return merges
 
     def consume_condensed(
         self,
@@ -95,9 +98,10 @@ class NNChainLowMemBackend(ClusteringBackend):
         num_observations: int,
         linkage: Linkage,
     ) -> np.ndarray:
-        return NNChainBackend().consume_condensed(
-            condensed, num_observations, linkage
-        )
+        inner = NNChainBackend()
+        merges = inner.consume_condensed(condensed, num_observations, linkage)
+        self.last_stats = inner.last_stats
+        return merges
 
     # -- native entry point -------------------------------------------------
 
@@ -114,6 +118,7 @@ class NNChainLowMemBackend(ClusteringBackend):
             raise ValueError(f"features must be 2-D, got shape {arr.shape}")
         n = arr.shape[0]
         if n <= 1:
+            self.last_stats = {"merges": 0, "chain_steps": 0, "tile_blocks": 0}
             return np.empty((0, 4))
 
         if linkage is Linkage.WARD:
@@ -124,6 +129,7 @@ class NNChainLowMemBackend(ClusteringBackend):
         active = np.ones(n, dtype=bool)
         chain = np.empty(n, dtype=np.int64)
         chain_len = 0
+        chain_steps = 0
 
         # Raw merge log in execution (chain) order; slots are observation
         # indices standing for the cluster currently stored in that slot —
@@ -142,6 +148,7 @@ class NNChainLowMemBackend(ClusteringBackend):
             # reciprocal pair; preferring the previous chain element on ties
             # keeps the walk from oscillating (same rule as nn_chain).
             while True:
+                chain_steps += 1
                 x = int(chain[chain_len - 1])
                 row = state.cluster_row(x, active)
                 if chain_len > 1:
@@ -170,6 +177,11 @@ class NNChainLowMemBackend(ClusteringBackend):
             merged_sizes[merge_index] = state.merge(x, y)
             active[y] = False
 
+        self.last_stats = {
+            "merges": n - 1,
+            "chain_steps": chain_steps,
+            "tile_blocks": getattr(state, "tile_blocks", 0),
+        }
         return _canonicalize(slot_a, slot_b, heights, merged_sizes, n)
 
 
@@ -230,6 +242,7 @@ class _ScanState:
         self.members: list[np.ndarray | None] = [
             np.array([i], dtype=np.int64) for i in range(n)
         ]
+        self.tile_blocks = 0
 
     def _point_aggregate(self, member_rows: np.ndarray) -> np.ndarray:
         """Reduce d(member, point) over members, one value per point."""
@@ -247,6 +260,7 @@ class _ScanState:
             block_rows = self.features[rows]
             row_norms = self.sq_norms[rows]
             for c0 in range(0, n, tile):
+                self.tile_blocks += 1
                 c1 = min(c0 + tile, n)
                 sq = (
                     row_norms[:, None]

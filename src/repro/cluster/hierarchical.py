@@ -203,6 +203,10 @@ class AgglomerativeClustering:
         # Eager name/linkage validation; ``fit`` re-resolves "auto" once the
         # observation count is known so large fits get the lowmem engine.
         self.backend = resolve_backend(backend, linkage, tile_size=tile_size)
+        #: Counters of the most recent :meth:`fit`: the resolved backend's
+        #: name plus its ``last_stats`` (observability only — surfaced as
+        #: trace-span counters, never persisted).
+        self.last_fit_stats: dict = {}
 
     def fit(
         self,
@@ -225,10 +229,15 @@ class AgglomerativeClustering:
                 raise ValueError("precomputed_distances must be a square matrix")
             n = distances.shape[0]
             if n == 1:
+                self.last_fit_stats = {"backend": self.backend.name, "merges": 0}
                 return Dendrogram(merges=np.empty((0, 4)), num_observations=1)
             merges = self.backend.compute_merges_from_square(
                 distances, self.linkage
             )
+            self.last_fit_stats = {
+                "backend": self.backend.name,
+                **self.backend.last_stats,
+            }
             return Dendrogram(merges=merges, num_observations=n)
 
         arr = np.asarray(vectors, dtype=float)
@@ -238,6 +247,7 @@ class AgglomerativeClustering:
             raise ValueError("need at least one observation")
         n = arr.shape[0]
         if n == 1:
+            self.last_fit_stats = {"backend": self.backend.name, "merges": 0}
             return Dendrogram(merges=np.empty((0, 4)), num_observations=1)
 
         backend = resolve_backend(
@@ -262,6 +272,7 @@ class AgglomerativeClustering:
             merges = backend.compute_merges_from_square(
                 euclidean_distance_matrix(arr), self.linkage
             )
+        self.last_fit_stats = {"backend": backend.name, **backend.last_stats}
         return Dendrogram(merges=merges, num_observations=n)
 
     def fit_predict(

@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.core.config import ModelConfig
 from repro.core.pipeline import Pipeline, PipelineContext, StageCache, timings_as_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.core.results import ModelResult
 from repro.core.stages import default_stages
 from repro.decompose.batch import BatchDecomposition, decompose_features_batch
@@ -109,6 +111,7 @@ class TrafficPatternModel:
         traffic: TowerTrafficMatrix,
         *,
         city: CityModel | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> ModelResult:
         """Fit the model on a per-tower traffic matrix.
 
@@ -121,9 +124,19 @@ class TrafficPatternModel:
             Optional city model providing tower coordinates and the POI
             layer; required for the geographic labelling step (skipped when
             absent).
+        tracer:
+            Optional span tracer (:class:`repro.obs.Tracer`): the fit runs
+            under a ``fit`` root span with one child span per pipeline
+            stage.  Defaults to the no-op tracer (no overhead, identical
+            outputs).
         """
-        context = PipelineContext(config=self.config, traffic=traffic, city=city)
-        return self._run_pipeline(context)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("fit") as span:
+            span.set("towers", int(traffic.tower_ids.shape[0]))
+            context = PipelineContext(
+                config=self.config, traffic=traffic, city=city, tracer=tracer
+            )
+            return self._run_pipeline(context)
 
     def fit_batch(
         self,
@@ -132,6 +145,7 @@ class TrafficPatternModel:
         *,
         tower_ids: Sequence[int] | None = None,
         city: CityModel | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> ModelResult:
         """Fit the model directly on a columnar record batch.
 
@@ -150,13 +164,20 @@ class TrafficPatternModel:
             all-zero rows).
         city:
             Optional city model for the labelling stage.
+        tracer:
+            Optional span tracer; see :meth:`fit`.
         """
-        context = PipelineContext(config=self.config, traffic=None, city=city)
-        context.set("record_batch", batch, producer="input")
-        context.set("window", window, producer="input")
-        if tower_ids is not None:
-            context.set("tower_ids", list(tower_ids), producer="input")
-        return self._run_pipeline(context)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("fit") as span:
+            span.count("records", len(batch))
+            context = PipelineContext(
+                config=self.config, traffic=None, city=city, tracer=tracer
+            )
+            context.set("record_batch", batch, producer="input")
+            context.set("window", window, producer="input")
+            if tower_ids is not None:
+                context.set("tower_ids", list(tower_ids), producer="input")
+            return self._run_pipeline(context)
 
     def fit_batches(
         self,
@@ -167,6 +188,8 @@ class TrafficPatternModel:
         city: CityModel | None = None,
         workers: int | None = None,
         prepare=None,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> ModelResult:
         """Fit the model on a stream of cleaned record batches (out-of-core).
 
@@ -185,13 +208,32 @@ class TrafficPatternModel:
         ``workers`` field of the model config); see
         :func:`repro.vectorize.aggregate.aggregate_batches` for the
         determinism/ulp notes.
+
+        ``tracer``/``metrics`` thread the optional telemetry plane through
+        the ingest (an ``ingest`` child span under the ``fit`` root, with
+        per-worker child spans when parallel) and the pipeline stages.
         """
         if workers is None:
             workers = self.config.workers
-        matrix = aggregate_batches(
-            batches, window, tower_ids, workers=workers, prepare=prepare
-        )
-        return self.fit(matrix, city=city)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        # Build the context inline rather than delegating to fit(): the
+        # ingest span must live under the same "fit" root as the stages.
+        with tracer.span("fit") as span:
+            with tracer.span("ingest"):
+                matrix = aggregate_batches(
+                    batches,
+                    window,
+                    tower_ids,
+                    workers=workers,
+                    prepare=prepare,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+            span.set("towers", int(matrix.tower_ids.shape[0]))
+            context = PipelineContext(
+                config=self.config, traffic=matrix, city=city, tracer=tracer
+            )
+            return self._run_pipeline(context)
 
     # ------------------------------------------------------------------
     # Persistence and incremental updates
@@ -231,6 +273,8 @@ class TrafficPatternModel:
         city: CityModel | None = None,
         workers: int | None = None,
         prepare=None,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> ModelResult:
         """Fold new record batches into the fitted model (incremental fit).
 
@@ -276,35 +320,50 @@ class TrafficPatternModel:
             workers = self.config.workers
         num_workers = resolve_workers(workers)
         window_end = float(merged.window.num_seconds)
-        if num_workers > 0:
-            delta, stats = parallel_aggregate_batches_with_stats(
-                batches,
-                merged.window,
-                merged.tower_ids,
-                workers=num_workers,
-                prepare=prepare,
-            )
-            merged.traffic += delta.traffic
-            records_seen = stats.records_seen
-            records_folded = stats.records_folded
-        else:
-            records_seen = 0
-            records_folded = 0
-            index = TowerRowIndex(merged.tower_ids)
-            for batch in batches:
-                if prepare is not None:
-                    batch = prepare(batch)
-                records_seen += len(batch)
-                contributes = index.rows_of(batch.tower_id) >= 0
-                contributes &= batch.start_s < window_end
-                records_folded += int(np.count_nonzero(contributes))
-                scatter_batch_into(merged, batch, index=index)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("update") as root:
+            with tracer.span("ingest") as ingest:
+                if num_workers > 0:
+                    delta, stats = parallel_aggregate_batches_with_stats(
+                        batches,
+                        merged.window,
+                        merged.tower_ids,
+                        workers=num_workers,
+                        prepare=prepare,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
+                    merged.traffic += delta.traffic
+                    records_seen = stats.records_seen
+                    records_folded = stats.records_folded
+                else:
+                    records_seen = 0
+                    records_folded = 0
+                    index = TowerRowIndex(merged.tower_ids)
+                    for batch in batches:
+                        if prepare is not None:
+                            batch = prepare(batch)
+                        records_seen += len(batch)
+                        contributes = index.rows_of(batch.tower_id) >= 0
+                        contributes &= batch.start_s < window_end
+                        records_folded += int(np.count_nonzero(contributes))
+                        scatter_batch_into(merged, batch, index=index)
+                ingest.count("records_seen", records_seen)
+                ingest.count("records_folded", records_folded)
+            if metrics is not None and num_workers == 0:
+                # The parallel path accumulates these inside the pool entry
+                # point; only the serial loop needs them counted here.
+                metrics.counter("ingest.records_seen").inc(records_seen)
+                metrics.counter("ingest.records_folded").inc(records_folded)
+            root.set("towers", int(merged.tower_ids.shape[0]))
 
-        context = PipelineContext(config=self.config, traffic=merged, city=city)
-        if city is None and result.poi_profile is not None:
-            context.set("poi_profile_prior", result.poi_profile, producer="resume")
-        context.reuse = self._resume_caches(result)
-        updated = self._run_pipeline(context)
+            context = PipelineContext(
+                config=self.config, traffic=merged, city=city, tracer=tracer
+            )
+            if city is None and result.poi_profile is not None:
+                context.set("poi_profile_prior", result.poi_profile, producer="resume")
+            context.reuse = self._resume_caches(result)
+            updated = self._run_pipeline(context)
         updated.extras["update_stats"] = {
             "records_seen": records_seen,
             "records_folded": records_folded,

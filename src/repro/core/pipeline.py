@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
 
 from repro.core.config import ModelConfig
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.synth.city import CityModel
 from repro.synth.traffic import TowerTrafficMatrix
 
@@ -54,10 +55,12 @@ class PipelineContext:
         config: ModelConfig,
         traffic: TowerTrafficMatrix | None = None,
         city: CityModel | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.config = config
         self.traffic = traffic
         self.city = city
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timings: list[StageTiming] = []
         self.reuse: dict[str, StageCache] = {}
         self.fingerprints: dict[str, str] = {}
@@ -136,6 +139,15 @@ class StageTiming:
     ``should_run``); ``reused`` marks stages whose input fingerprint matched
     a seeded :class:`StageCache`, so their cached outputs were republished
     without recomputation.
+
+    .. deprecated::
+        Stage timings are now a projection of the span tracer
+        (:mod:`repro.obs.trace`): when a run is traced, each stage's
+        ``StageTiming.seconds`` equals the wall time of its span, and the
+        span additionally carries CPU time, counters and attributes.  The
+        ``context.timings`` list and ``extras["stage_timings"]`` stay
+        populated for backward compatibility; new code should prefer the
+        trace (``tracer.to_dict()``).
     """
 
     name: str
@@ -222,12 +234,15 @@ class Pipeline:
         """
         context.timings = []
         context.fingerprints = {}
+        tracer = context.tracer
         for declared in self.stages:
             stage = self.overrides.get(declared.name, declared)
             should_run = getattr(stage, "should_run", None)
             if declared.name in self.skip or (
                 should_run is not None and not should_run(context)
             ):
+                with tracer.span(stage.name) as span:
+                    span.set("skipped", True)
                 context.timings.append(StageTiming(stage.name, 0.0, skipped=True))
                 continue
             fingerprint_fn = getattr(stage, "fingerprint", None)
@@ -238,13 +253,20 @@ class Pipeline:
             if cache is not None and digest is not None and cache.fingerprint == digest:
                 for key, value in cache.outputs.items():
                     context.set(key, value, producer=stage.name)
+                with tracer.span(stage.name) as span:
+                    span.set("reused", True)
                 context.timings.append(StageTiming(stage.name, 0.0, reused=True))
                 continue
-            start = time.perf_counter()
-            stage.run(context)
-            context.timings.append(
-                StageTiming(stage.name, time.perf_counter() - start)
-            )
+            if tracer.enabled:
+                with tracer.span(stage.name) as span:
+                    stage.run(context)
+                context.timings.append(StageTiming(stage.name, span.wall_seconds))
+            else:
+                start = time.perf_counter()
+                stage.run(context)
+                context.timings.append(
+                    StageTiming(stage.name, time.perf_counter() - start)
+                )
         return context
 
 

@@ -40,4 +40,14 @@ class ClusterStage:
             tile_size=cfg.cluster_tile_size,
         )
         dendrogram = clusterer.fit(vectorized.vectors)
+        # Backend run counters land on the trace span only — never in the
+        # persisted result — so saved bundles stay byte-identical whether or
+        # not the fit was traced.
+        span = context.tracer.current
+        for key, value in clusterer.last_fit_stats.items():
+            if isinstance(value, int):
+                span.count(key, value)
+            else:
+                span.set(key, value)
+        span.set("towers", int(vectorized.vectors.shape[0]))
         context.set("dendrogram", dendrogram, producer=self.name)

@@ -80,4 +80,10 @@ class DecomposeStage:
                 vectorized.tower_ids,
                 clusters=pure_clusters,
             )
+        span = context.tracer.current
+        span.set("pure_clusters", int(pure_clusters.size))
+        span.set(
+            "representatives",
+            0 if representatives is None else int(len(representatives.tower_ids)),
+        )
         context.set("representatives", representatives, producer=self.name)

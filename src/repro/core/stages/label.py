@@ -64,5 +64,8 @@ class LabelStage:
         else:
             poi_profile = context.require("poi_profile_prior")
         labeling = label_clusters(poi_profile, clustering.labels)
+        span = context.tracer.current
+        span.set("source", "city" if city is not None else "prior")
+        span.count("clusters_labelled", len(labeling.cluster_labels))
         context.set("poi_profile", poi_profile, producer=self.name)
         context.set("labeling", labeling, producer=self.name)

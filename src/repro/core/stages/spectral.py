@@ -38,5 +38,8 @@ class SpectralStage:
             components,
             normalization=cfg.feature_normalization,
         )
+        span = context.tracer.current
+        span.set("towers", int(frequency_features.amplitudes.shape[0]))
+        span.set("window_days", int(traffic.window.num_days))
         context.set("components", components, producer=self.name)
         context.set("frequency_features", frequency_features, producer=self.name)

@@ -55,5 +55,9 @@ class TuneStage:
             linkage=cfg.linkage,
             threshold=threshold,
         )
+        span = context.tracer.current
+        if tuning_curve is not None:
+            span.count("candidates", len(tuning_curve.num_clusters))
+        span.set("num_clusters", int(len(set(int(label) for label in labels))))
         context.set("clustering", clustering, producer=self.name)
         context.set("tuning_curve", tuning_curve, producer=self.name)

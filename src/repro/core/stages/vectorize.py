@@ -48,6 +48,10 @@ class VectorizeStage:
                 batch, window, tower_ids=context.get("tower_ids")
             )
             context.traffic = vectorized.raw
+            context.tracer.current.count("records", len(batch))
         else:
             vectorized = vectorizer.from_matrix(context.traffic)
+        span = context.tracer.current
+        span.set("towers", int(vectorized.vectors.shape[0]))
+        span.set("slots", int(vectorized.vectors.shape[1]))
         context.set("vectorized", vectorized, producer=self.name)

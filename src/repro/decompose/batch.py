@@ -172,6 +172,7 @@ def decompose_features_batch(
     max_iterations: int = 2_000,
     tolerance: float = 1e-10,
     chunk_size: int | None = None,
+    stats: dict | None = None,
 ) -> BatchDecomposition:
     """Decompose every row of ``feature_matrix`` onto the primary components.
 
@@ -191,9 +192,11 @@ def decompose_features_batch(
         vertex.
     tower_ids:
         Optional ``(n,)`` tower identifiers; default -1 (raw vectors).
-    exhaustive_limit, max_iterations, tolerance, chunk_size:
+    exhaustive_limit, max_iterations, tolerance, chunk_size, stats:
         Passed through to
-        :func:`~repro.decompose.simplex.simplex_constrained_least_squares_batch`.
+        :func:`~repro.decompose.simplex.simplex_constrained_least_squares_batch`
+        (``stats`` is an optional dict filled with the solver's counters —
+        rows, chunks, faces enumerated, fallback rows).
     """
     matrix = np.asarray(feature_matrix, dtype=float)
     if matrix.ndim != 2:
@@ -212,6 +215,7 @@ def decompose_features_batch(
         max_iterations=max_iterations,
         tolerance=tolerance,
         chunk_size=chunk_size,
+        stats=stats,
     )
     return BatchDecomposition(
         tower_ids=ids,

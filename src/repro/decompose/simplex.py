@@ -387,6 +387,7 @@ def simplex_constrained_least_squares_batch(
     max_iterations: int = 2_000,
     tolerance: float = 1e-10,
     chunk_size: int | None = None,
+    stats: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Solve the simplex-constrained fit for every row of ``targets`` at once.
 
@@ -409,6 +410,13 @@ def simplex_constrained_least_squares_batch(
         Towers per slice of the face-enumeration kernel; bounds the stacked
         right-hand-side buffers.  Auto-sized to ~32 MB by default — at the
         paper's ``k = 4`` that is one slice for well past 100k towers.
+    stats:
+        Optional dict filled (in place) with solver counters:
+        ``rows`` (targets solved), ``chunks`` (exact-kernel slices),
+        ``faces_enumerated`` (face solves across all slices, ``chunks ×
+        (2^k − 1)``) and ``fallback_rows`` (rows routed to the
+        projected-gradient fallback because ``k > exhaustive_limit``).
+        Observability only; never changes the solve.
     """
     vertex_matrix = np.asarray(vertices, dtype=float)
     target_matrix = np.asarray(targets, dtype=float)
@@ -428,10 +436,14 @@ def simplex_constrained_least_squares_batch(
     if not np.all(np.isfinite(target_matrix)):
         raise ValueError("targets contain non-finite entries")
     n = target_matrix.shape[0]
+    if stats is not None:
+        stats.update(rows=n, chunks=0, faces_enumerated=0, fallback_rows=0)
     if n == 0:
         return np.zeros((0, k)), np.zeros(0)
 
     if k > exhaustive_limit:
+        if stats is not None:
+            stats["fallback_rows"] = n
         return _batch_projected_gradient(
             vertex_matrix,
             target_matrix,
@@ -443,6 +455,7 @@ def simplex_constrained_least_squares_batch(
         chunk_size = _auto_chunk_size(k, n)
     coefficients = np.empty((n, k))
     residuals = np.empty(n)
+    chunks = 0
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
         chunk_coefficients, chunk_residuals = _batch_exact(
@@ -450,4 +463,8 @@ def simplex_constrained_least_squares_batch(
         )
         coefficients[start:stop] = chunk_coefficients
         residuals[start:stop] = chunk_residuals
+        chunks += 1
+    if stats is not None:
+        stats["chunks"] = chunks
+        stats["faces_enumerated"] = chunks * ((1 << k) - 1)
     return coefficients, residuals

@@ -63,6 +63,12 @@ SCHEMA_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
+#: Optional telemetry sidecar written next to the two bundle files by traced
+#: CLI runs (``repro-traffic fit --save ... --trace``).  Purely informative:
+#: bundles load identically with or without it, and :func:`save_model` never
+#: writes or deletes it.
+TRACE_SIDECAR_NAME = "trace.json"
+
 
 class PersistError(RuntimeError):
     """A model bundle could not be written or read back faithfully."""
@@ -271,6 +277,47 @@ def save_model(
             leftover.unlink(missing_ok=True)
         raise PersistError(f"{bundle}: cannot write model bundle: {err}") from err
     return bundle
+
+
+def write_trace_sidecar(payload: dict, bundle: str | Path) -> Path:
+    """Write a telemetry payload as ``trace.json`` inside a bundle directory.
+
+    The payload is the :meth:`repro.obs.trace.Tracer.to_dict` schema,
+    optionally extended with a ``"metrics"`` registry snapshot.  Written
+    atomically (temporary name + rename) like the bundle files; returns the
+    sidecar path.
+    """
+    bundle_path = Path(bundle)
+    sidecar = bundle_path / TRACE_SIDECAR_NAME
+    tmp = bundle_path / (TRACE_SIDECAR_NAME + ".tmp")
+    try:
+        bundle_path.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, sidecar)
+    except (OSError, TypeError, ValueError) as err:
+        tmp.unlink(missing_ok=True)
+        raise PersistError(f"{sidecar}: cannot write trace sidecar: {err}") from None
+    return sidecar
+
+
+def read_trace_sidecar(bundle: str | Path) -> dict | None:
+    """Read a bundle's ``trace.json`` sidecar, or ``None`` when absent.
+
+    Raises
+    ------
+    PersistError
+        If a sidecar exists but is not valid JSON.
+    """
+    sidecar = Path(bundle) / TRACE_SIDECAR_NAME
+    if not sidecar.is_file():
+        return None
+    try:
+        payload = json.loads(sidecar.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise PersistError(f"{sidecar}: corrupt trace sidecar: {err}") from None
+    if not isinstance(payload, dict):
+        raise PersistError(f"{sidecar}: corrupt trace sidecar: expected a JSON object")
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -6,15 +6,23 @@ decompositions and region predictions.  :class:`ModelServer` is the serving
 seam for that workflow — it wraps a :class:`~repro.core.model.TrafficPatternModel`
 (freshly fitted, or loaded from a :mod:`repro.io.persist` bundle) and
 answers every query without ever re-running the fit, memoising the
-per-tower decompositions (the only non-trivial per-query computation) and
-keeping simple serving statistics.
+per-tower decompositions (the only non-trivial per-query computation).
+
+Serving statistics are backed by a :class:`~repro.obs.metrics.MetricsRegistry`
+(supply your own to aggregate across servers, or let the server own one):
+queries served, decompose-cache hits/misses, memoised-batch reuse and a
+query-latency histogram, all snapshotted by :meth:`ModelServer.stats`.  An
+optional :class:`~repro.obs.trace.Tracer` records one ``query:<name>`` span
+per query.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -22,6 +30,8 @@ from repro.core.model import TrafficPatternModel
 from repro.core.results import ClusterSummary, ModelResult
 from repro.decompose.batch import BatchDecomposition
 from repro.decompose.convex import ConvexDecomposition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.synth.regions import RegionType
 
 
@@ -54,6 +64,14 @@ class ModelServer:
     model:
         A fitted :class:`TrafficPatternModel` (``fit`` already called, or
         constructed via :meth:`TrafficPatternModel.load`).
+    tracer:
+        Optional span tracer; each query records one ``query:<name>`` span.
+        Defaults to the no-op tracer.
+    metrics:
+        Optional metrics registry backing the serving counters (pass a
+        shared registry to aggregate several servers, or to export the
+        counters alongside a trace).  The server creates a private one when
+        omitted, so :meth:`stats` always works.
 
     Example
     -------
@@ -62,18 +80,35 @@ class ModelServer:
     <RegionType.OFFICE: 'office'>
     """
 
-    def __init__(self, model: TrafficPatternModel) -> None:
+    def __init__(
+        self,
+        model: TrafficPatternModel,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._model = model
         self._result = model.result  # fail fast when not fitted
         self._decompose_cache: dict[int, ConvexDecomposition] = {}
         self._batch_decomposition: BatchDecomposition | None = None
-        self._queries = 0
-        self._cache_hits = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queries = self.metrics.counter("server.queries")
+        self._cache_hits = self.metrics.counter("server.decompose_cache_hits")
+        self._cache_misses = self.metrics.counter("server.decompose_cache_misses")
+        self._batch_reuse = self.metrics.counter("server.batch_reuse")
+        self._latency = self.metrics.histogram("server.query_seconds")
 
     @classmethod
-    def from_artifact(cls, path: str | Path) -> "ModelServer":
+    def from_artifact(
+        cls,
+        path: str | Path,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "ModelServer":
         """Open a persisted model bundle and serve queries against it."""
-        return cls(TrafficPatternModel.load(path))
+        return cls(TrafficPatternModel.load(path), tracer=tracer, metrics=metrics)
 
     # -- introspection -------------------------------------------------
 
@@ -96,12 +131,25 @@ class ModelServer:
         """Return every tower id the model can answer queries for."""
         return [int(tower_id) for tower_id in self._result.tower_ids]
 
+    # -- query bookkeeping ---------------------------------------------
+
+    @contextmanager
+    def _query(self, name: str) -> Iterator[None]:
+        """Count one query, time it into the latency histogram, span it."""
+        self._queries.inc()
+        start = time.perf_counter()
+        try:
+            with self._tracer.span(f"query:{name}"):
+                yield
+        finally:
+            self._latency.observe(time.perf_counter() - start)
+
     # -- queries -------------------------------------------------------
 
     def summaries(self) -> list[ClusterSummary]:
         """Return one :class:`ClusterSummary` per identified pattern."""
-        self._queries += 1
-        return self._result.summaries()
+        with self._query("summaries"):
+            return self._result.summaries()
 
     def cluster_summary(self, cluster_label: int) -> ClusterSummary:
         """Return the summary of one cluster.
@@ -111,13 +159,13 @@ class ModelServer:
         KeyError
             If ``cluster_label`` does not name an identified pattern.
         """
-        self._queries += 1
-        if not 0 <= cluster_label < self._result.num_clusters:
-            raise KeyError(
-                f"cluster {cluster_label} not identified "
-                f"(have 0..{self._result.num_clusters - 1})"
-            )
-        return self._result.summaries()[cluster_label]
+        with self._query("cluster_summary"):
+            if not 0 <= cluster_label < self._result.num_clusters:
+                raise KeyError(
+                    f"cluster {cluster_label} not identified "
+                    f"(have 0..{self._result.num_clusters - 1})"
+                )
+            return self._result.summaries()[cluster_label]
 
     def decompose(self, tower_id: int) -> ConvexDecomposition:
         """Return the convex decomposition of one tower (memoised).
@@ -126,19 +174,21 @@ class ModelServer:
         :meth:`decompose_all` has already run, and only then solved — as a
         one-row call into the batched kernel.
         """
-        self._queries += 1
-        key = int(tower_id)
-        cached = self._decompose_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        if self._batch_decomposition is not None:
-            decomposition = self._batch_decomposition.decomposition_of(key)
-            self._cache_hits += 1
-        else:
-            decomposition = self._model.decompose(key)
-        self._decompose_cache[key] = decomposition
-        return decomposition
+        with self._query("decompose"):
+            key = int(tower_id)
+            cached = self._decompose_cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                return cached
+            if self._batch_decomposition is not None:
+                decomposition = self._batch_decomposition.decomposition_of(key)
+                self._cache_hits.inc()
+                self._batch_reuse.inc()
+            else:
+                self._cache_misses.inc()
+                decomposition = self._model.decompose(key)
+            self._decompose_cache[key] = decomposition
+            return decomposition
 
     def decompose_many(self, tower_ids: Sequence[int]) -> BatchDecomposition:
         """Decompose several towers as one batched solve.
@@ -147,18 +197,20 @@ class ModelServer:
         otherwise a single vectorized call covers every requested tower, and
         the per-tower cache is populated from its rows.
         """
-        self._queries += 1
-        ids = [int(tower_id) for tower_id in tower_ids]
-        if self._batch_decomposition is not None:
-            self._cache_hits += 1
-            rows = np.array(
-                [self._batch_decomposition.row_of(key) for key in ids], dtype=int
-            )
-            return self._batch_decomposition.take(rows)
-        batch = self._model.decompose_towers(ids)
-        for index, key in enumerate(ids):
-            self._decompose_cache.setdefault(key, batch.at(index))
-        return batch
+        with self._query("decompose_many"):
+            ids = [int(tower_id) for tower_id in tower_ids]
+            if self._batch_decomposition is not None:
+                self._cache_hits.inc()
+                self._batch_reuse.inc()
+                rows = np.array(
+                    [self._batch_decomposition.row_of(key) for key in ids], dtype=int
+                )
+                return self._batch_decomposition.take(rows)
+            self._cache_misses.inc()
+            batch = self._model.decompose_towers(ids)
+            for index, key in enumerate(ids):
+                self._decompose_cache.setdefault(key, batch.at(index))
+            return batch
 
     def decompose_all(self) -> BatchDecomposition:
         """Decompose every tower in one vectorized call (memoised).
@@ -168,46 +220,71 @@ class ModelServer:
         :meth:`decompose` / :meth:`decompose_many` query is a slice of the
         cached result.
         """
-        self._queries += 1
-        if self._batch_decomposition is None:
-            self._batch_decomposition = self._model.decompose_all()
-        else:
-            self._cache_hits += 1
-        return self._batch_decomposition
+        with self._query("decompose_all"):
+            if self._batch_decomposition is None:
+                self._cache_misses.inc()
+                self._batch_decomposition = self._model.decompose_all()
+            else:
+                self._cache_hits.inc()
+                self._batch_reuse.inc()
+            return self._batch_decomposition
 
     def predict_region(self, tower_id: int) -> RegionType:
         """Return the urban functional region inferred for one tower."""
-        self._queries += 1
-        return self._model.predict_region(int(tower_id))
+        with self._query("predict_region"):
+            return self._model.predict_region(int(tower_id))
 
     def pattern_of(self, tower_id: int) -> TowerPattern:
         """Return the full pattern record of one tower."""
-        self._queries += 1
-        result = self._result
-        row = result.vectorized.row_of(int(tower_id))
-        cluster = int(result.labels[row])
-        return TowerPattern(
-            tower_id=int(tower_id),
-            cluster=cluster,
-            region=result.region_of_cluster(cluster),
-            raw_series=result.vectorized.raw.traffic[row],
-            normalized_vector=result.vectorized.vectors[row],
-        )
+        with self._query("pattern_of"):
+            result = self._result
+            row = result.vectorized.row_of(int(tower_id))
+            cluster = int(result.labels[row])
+            return TowerPattern(
+                tower_id=int(tower_id),
+                cluster=cluster,
+                region=result.region_of_cluster(cluster),
+                raw_series=result.vectorized.raw.traffic[row],
+                normalized_vector=result.vectorized.vectors[row],
+            )
 
     # -- serving statistics --------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Return cumulative serving counters."""
+    def stats(self) -> dict[str, object]:
+        """Return cumulative serving counters (registry-backed).
+
+        Stable schema::
+
+            {
+              "queries": int,                  # every query served
+              "decompose_cache_hits": int,     # served from cache or batch
+              "decompose_cache_misses": int,   # required a fresh solve
+              "decompose_cache_size": int,     # towers memoised right now
+              "decompose_batch_rows": int,     # rows of the memoised batch
+              "batch_reuse": int,              # queries served off the batch
+              "query_latency": {count, sum, min, max, p50, p95, p99},
+            }
+
+        Counters are cumulative for the server's lifetime and survive
+        :meth:`invalidate` (which only drops memoised results).
+        """
         batch = self._batch_decomposition
         return {
-            "queries": self._queries,
-            "decompose_cache_hits": self._cache_hits,
+            "queries": self._queries.snapshot(),
+            "decompose_cache_hits": self._cache_hits.snapshot(),
+            "decompose_cache_misses": self._cache_misses.snapshot(),
             "decompose_cache_size": len(self._decompose_cache),
             "decompose_batch_rows": 0 if batch is None else len(batch),
+            "batch_reuse": self._batch_reuse.snapshot(),
+            "query_latency": self._latency.snapshot(),
         }
 
     def invalidate(self) -> None:
-        """Drop memoised query results (call after updating the model)."""
+        """Drop memoised query results (call after updating the model).
+
+        The cumulative counters are *not* reset — they describe the
+        server's lifetime, not the current cache generation.
+        """
         self._result = self._model.result
         self._decompose_cache.clear()
         self._batch_decomposition = None

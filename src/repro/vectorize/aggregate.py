@@ -156,6 +156,8 @@ def aggregate_batches(
     split_across_slots: bool = True,
     workers: int = 0,
     prepare: Callable[[RecordBatch], RecordBatch] | None = None,
+    tracer=None,
+    metrics=None,
 ) -> TowerTrafficMatrix:
     """Aggregate a stream of record batches without materialising the trace.
 
@@ -179,26 +181,58 @@ def aggregate_batches(
         Optional per-chunk transform (e.g. cleaning) applied to each batch
         before scattering — inline when serial, inside the workers when
         parallel (it must be picklable then, i.e. a module-level callable).
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Chunk/record counters land on
+        the innermost open span (``tracer.current``); the parallel path
+        additionally grafts one pre-measured ``worker-{id}`` child span per
+        shard.  Defaults to the no-op tracer.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` accumulating the
+        ``ingest.chunks`` / ``ingest.records_seen`` counters (plus
+        ``ingest.records_folded`` and the queue-occupancy histogram on the
+        parallel path).
     """
-    from repro.vectorize.parallel import parallel_aggregate_batches, resolve_workers
+    from repro.obs.trace import NULL_TRACER
+    from repro.vectorize.parallel import (
+        parallel_aggregate_batches_with_stats,
+        resolve_workers,
+    )
 
+    tracer = tracer if tracer is not None else NULL_TRACER
     num_workers = resolve_workers(workers)
     if num_workers > 0:
-        return parallel_aggregate_batches(
+        matrix, stats = parallel_aggregate_batches_with_stats(
             batches,
             window,
             tower_ids,
             workers=num_workers,
             split_across_slots=split_across_slots,
             prepare=prepare,
+            tracer=tracer,
+            metrics=metrics,
         )
+        span = tracer.current
+        span.count("chunks", stats.chunks)
+        span.count("records_seen", stats.records_seen)
+        span.count("records_folded", stats.records_folded)
+        return matrix
     ordered = _ordered_tower_ids(tower_ids, ())
     index = TowerRowIndex(ordered)
     traffic = np.zeros((ordered.size, window.num_slots))
+    span = tracer.current
+    chunks = 0
+    records_seen = 0
     for batch in batches:
         if prepare is not None:
             batch = prepare(batch)
+        chunks += 1
+        records_seen += len(batch)
         _scatter_batch(batch, traffic, index, split_across_slots=split_across_slots)
+    span.count("chunks", chunks)
+    span.count("records_seen", records_seen)
+    if metrics is not None:
+        metrics.counter("ingest.chunks").inc(chunks)
+        metrics.counter("ingest.records_seen").inc(records_seen)
     return TowerTrafficMatrix(tower_ids=ordered, traffic=traffic, window=window)
 
 

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import os
 import queue as queue_module
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -59,6 +60,8 @@ import numpy as np
 
 from repro.ingest.batch import RecordBatch
 from repro.ingest.dedup import clean_batch
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.synth.traffic import TowerTrafficMatrix
 from repro.utils.timeutils import TimeWindow
 
@@ -184,6 +187,8 @@ def _worker_main(
             chunks = 0
             records_seen = 0
             records_folded = 0
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
             while True:
                 task = task_queue.get()
                 if task is None:
@@ -206,8 +211,12 @@ def _worker_main(
                     # mapping and the segment itself.
                     block.close()
                     block.unlink()
+            # Report the shard's counters plus its own wall/CPU time so the
+            # parent can graft a pre-measured span onto a live trace.
+            wall = time.perf_counter() - wall_start
+            cpu = time.process_time() - cpu_start
             done_queue.put(
-                ("done", worker_id, (chunks, records_seen, records_folded))
+                ("done", worker_id, (chunks, records_seen, records_folded, wall, cpu))
             )
         finally:
             # Close the local mapping only; the parent owns (and unlinks)
@@ -230,19 +239,21 @@ class _ShardPool:
         split_across_slots: bool,
         prepare: Callable[[RecordBatch], RecordBatch] | None,
         queue_depth: int,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         import multiprocessing as mp
         from multiprocessing import shared_memory
 
         self.num_workers = num_workers
         self.grid_shape = grid_shape
+        self.metrics = metrics
         context = mp.get_context()
         nbytes = max(8, int(np.prod(grid_shape)) * np.dtype(np.float64).itemsize)
         self.shards: list[shared_memory.SharedMemory] = []
         self.task_queues = []
         self.processes = []
         self.done_queue = context.Queue()
-        self._done: dict[int, tuple[int, int, int]] = {}
+        self._done: dict[int, tuple[int, int, int, float, float]] = {}
         self._sent_blocks: list[str] = []
         self._closed = False
         try:
@@ -323,6 +334,15 @@ class _ShardPool:
 
     def put_batch(self, shard: int, batch: RecordBatch) -> None:
         """Copy a chunk into shared memory and enqueue its handle."""
+        if self.metrics is not None:
+            try:
+                occupancy = self.task_queues[shard].qsize()
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                pass
+            else:
+                self.metrics.histogram(
+                    "ingest.queue_occupancy", DEFAULT_COUNT_BUCKETS
+                ).observe(occupancy)
         handle = _batch_to_shm(batch)
         # Remembered so a forced teardown can unlink blocks no worker got
         # around to consuming (workers unlink the ones they did consume).
@@ -347,6 +367,14 @@ class _ShardPool:
             records_seen=seen,
             records_folded=folded,
         )
+
+    def worker_reports(self) -> list[tuple[int, tuple[int, int, int, float, float]]]:
+        """Per-worker ``(chunks, seen, folded, wall_s, cpu_s)`` reports.
+
+        Sorted by ascending worker id (not completion order), so trace
+        grafting is deterministic run to run.
+        """
+        return sorted(self._done.items())
 
     def reduce(self) -> np.ndarray:
         """Sum the shard grids in fixed shard order (deterministic)."""
@@ -398,6 +426,8 @@ def parallel_aggregate_batches_with_stats(
     split_across_slots: bool = True,
     prepare: Callable[[RecordBatch], RecordBatch] | None = None,
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[TowerTrafficMatrix, ParallelAggregateStats]:
     """Shard-parallel :func:`~repro.vectorize.aggregate.aggregate_batches`.
 
@@ -415,6 +445,14 @@ def parallel_aggregate_batches_with_stats(
     :func:`resolve_workers` first).  ``prepare`` must be picklable
     (module-level), e.g. :func:`clean_chunk`.
 
+    ``tracer`` grafts one pre-measured ``worker-{id}`` child span per shard
+    (wall/CPU time measured inside the worker process, counters ``chunks``/
+    ``records_seen``/``records_folded``) under the currently open span, in
+    ascending worker-id order — never completion order — so merged traces
+    are deterministic.  ``metrics`` feeds the cumulative ingest counters and
+    the ``ingest.queue_occupancy`` histogram (task-queue depth sampled at
+    each enqueue).
+
     Raises
     ------
     ParallelIngestError
@@ -429,6 +467,7 @@ def parallel_aggregate_batches_with_stats(
         raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
     ordered = _ordered_tower_ids(tower_ids, ())
     grid_shape = (int(ordered.size), int(window.num_slots))
+    tracer = tracer if tracer is not None else NULL_TRACER
     pool = _ShardPool(
         workers,
         grid_shape,
@@ -437,6 +476,7 @@ def parallel_aggregate_batches_with_stats(
         split_across_slots=split_across_slots,
         prepare=prepare,
         queue_depth=queue_depth,
+        metrics=metrics,
     )
     try:
         for chunk_index, batch in enumerate(batches):
@@ -447,6 +487,22 @@ def parallel_aggregate_batches_with_stats(
         pool.close(force=True)
         raise
     pool.close()
+    if tracer.enabled:
+        for worker_id, (chunks, seen, folded, wall, cpu) in pool.worker_reports():
+            tracer.attach(
+                f"worker-{worker_id}",
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                counters={
+                    "chunks": chunks,
+                    "records_seen": seen,
+                    "records_folded": folded,
+                },
+            )
+    if metrics is not None:
+        metrics.counter("ingest.chunks").inc(stats.chunks)
+        metrics.counter("ingest.records_seen").inc(stats.records_seen)
+        metrics.counter("ingest.records_folded").inc(stats.records_folded)
     return (
         TowerTrafficMatrix(tower_ids=ordered, traffic=traffic, window=window),
         stats,
@@ -462,6 +518,8 @@ def parallel_aggregate_batches(
     split_across_slots: bool = True,
     prepare: Callable[[RecordBatch], RecordBatch] | None = None,
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TowerTrafficMatrix:
     """:func:`parallel_aggregate_batches_with_stats` without the counters."""
     matrix, _ = parallel_aggregate_batches_with_stats(
@@ -472,5 +530,7 @@ def parallel_aggregate_batches(
         split_across_slots=split_across_slots,
         prepare=prepare,
         queue_depth=queue_depth,
+        tracer=tracer,
+        metrics=metrics,
     )
     return matrix

@@ -1,6 +1,8 @@
-"""Terminal-friendly ASCII visualisations (line plots, sparklines, heatmaps)."""
+"""Terminal-friendly ASCII visualisations (plots, sparklines, trace trees)."""
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -74,4 +76,73 @@ def ascii_heatmap(matrix: np.ndarray, *, title: str | None = None) -> str:
     for row in arr:
         indices = ((row - low) / span * (len(_HEAT_CHARS) - 1)).astype(int)
         lines.append("".join(_HEAT_CHARS[i] for i in indices))
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    """Render a duration compactly: µs below 1 ms, ms below 10 s, else s."""
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f} µs"
+    if seconds < 10.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _span_line(span: Mapping[str, Any]) -> str:
+    """One rendered line of a span: timings, flags, counters, attributes."""
+    parts = [f"wall {_format_seconds(float(span.get('wall_s', 0.0)))}"]
+    cpu = span.get("cpu_s")
+    if cpu is not None:
+        parts.append(f"cpu {_format_seconds(float(cpu))}")
+    mem = span.get("mem_peak_bytes")
+    if mem is not None:
+        parts.append(f"peak {mem / 1e6:.1f} MB")
+    if span.get("status") == "error":
+        parts.append(f"ERROR {span.get('error', '')}".rstrip())
+    details = {**span.get("counters", {}), **span.get("attributes", {})}
+    parts.extend(f"{key}={value}" for key, value in details.items())
+    return "  ".join(parts)
+
+
+def render_trace_tree(trace: Mapping[str, Any] | Any) -> str:
+    """Render a span trace as an indented tree, one line per span.
+
+    Accepts a :class:`~repro.obs.trace.Tracer`, a single
+    :class:`~repro.obs.trace.Span`, a span dict, or a full trace dict
+    (the :meth:`~repro.obs.trace.Tracer.to_dict` schema, ``{"spans": [...]}``).
+
+    Example output::
+
+        fit  wall 212.3 ms  cpu 208.1 ms  towers=300
+        ├─ vectorize  wall 12.4 ms  cpu 12.1 ms  towers=300
+        ├─ cluster  wall 150.2 ms  cpu 149.8 ms  merges=299
+        └─ decompose  wall 3.1 ms  cpu 3.0 ms
+    """
+    if hasattr(trace, "to_dict"):
+        trace = trace.to_dict()
+    if isinstance(trace, Mapping) and "spans" in trace:
+        roots = list(trace["spans"])
+    elif isinstance(trace, Mapping):
+        roots = [trace]
+    else:
+        raise TypeError(
+            f"cannot render a trace from {type(trace).__name__}; pass a "
+            "Tracer, a span dict or a trace dict"
+        )
+    if not roots:
+        return "(empty trace)"
+
+    lines: list[str] = []
+
+    def walk(span: Mapping[str, Any], prefix: str, child_prefix: str) -> None:
+        lines.append(f"{prefix}{span.get('name', '?')}  {_span_line(span)}")
+        children = list(span.get("children", []))
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            walk(child, child_prefix + connector, child_prefix + extension)
+
+    for root in roots:
+        walk(root, "", "")
     return "\n".join(lines)

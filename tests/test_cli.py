@@ -159,7 +159,7 @@ class TestFit:
         exit_code = main(
             [
                 "fit",
-                "--trace", str(tmp_path / "trace.csv"),
+                "--input", str(tmp_path / "trace.csv"),
                 "--stations", str(tmp_path / "stations.csv"),
                 "--days", "7",
                 "--clusters", "3",
@@ -168,9 +168,9 @@ class TestFit:
         assert exit_code == 0
         assert "identified 3 traffic patterns" in capsys.readouterr().out
 
-    def test_trace_without_stations_rejected(self, tmp_path):
+    def test_input_without_stations_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
-            main(["fit", "--trace", str(tmp_path / "missing.csv"), "--days", "7"])
+            main(["fit", "--input", str(tmp_path / "missing.csv"), "--days", "7"])
 
 
 class TestDecompose:
@@ -376,7 +376,7 @@ class TestCLIErrorPaths:
         stations = tmp_path / "stations.csv"
         stations.write_text("tower_id,address\n0,somewhere\n")
         exit_code = main(
-            ["fit", "--trace", str(missing), "--stations", str(stations), "--days", "7"]
+            ["fit", "--input", str(missing), "--stations", str(stations), "--days", "7"]
         )
         assert exit_code == 2
         err = capsys.readouterr().err
@@ -387,7 +387,7 @@ class TestCLIErrorPaths:
         trace = tmp_path / "trace.csv"
         trace.write_text("user_id,tower_id,start_s,end_s,bytes_used,network\n")
         exit_code = main(
-            ["fit", "--trace", str(trace), "--stations", str(tmp_path / "nope.csv")]
+            ["fit", "--input", str(trace), "--stations", str(tmp_path / "nope.csv")]
         )
         assert exit_code == 2
         assert "stations file not found" in capsys.readouterr().err
@@ -460,7 +460,7 @@ class TestCLIErrorPaths:
         assert main(
             [
                 "fit",
-                "--trace", str(trace_dir / "trace.csv"),
+                "--input", str(trace_dir / "trace.csv"),
                 "--stations", str(trace_dir / "stations.csv"),
                 "--days", "2",
                 "--clusters", "3",
@@ -548,7 +548,7 @@ class TestParallelCLI:
         assert len(err.strip().splitlines()) == 1
 
     def test_fit_workers_without_streaming_input_exits_2(self, capsys):
-        # Not silently serial: --workers without --trace/--chunk-size errors.
+        # Not silently serial: --workers without --input/--chunk-size errors.
         exit_code = main(["fit", "--towers", "10", "--workers", "2"])
         assert exit_code == 2
         err = capsys.readouterr().err
@@ -561,7 +561,7 @@ class TestParallelCLI:
         exit_code = main(
             [
                 "fit",
-                "--trace", str(trace_dir / "trace.csv"),
+                "--input", str(trace_dir / "trace.csv"),
                 "--stations", str(trace_dir / "stations.csv"),
                 "--workers", "2",
             ]
@@ -611,7 +611,7 @@ class TestParallelCLI:
             assert main(
                 [
                     "fit",
-                    "--trace", str(trace_dir / "trace.csv"),
+                    "--input", str(trace_dir / "trace.csv"),
                     "--stations", str(trace_dir / "stations.csv"),
                     "--days", "3",
                     "--clusters", "3",
@@ -639,7 +639,7 @@ class TestParallelCLI:
         assert main(
             [
                 "fit",
-                "--trace", str(trace_dir / "trace.csv"),
+                "--input", str(trace_dir / "trace.csv"),
                 "--stations", str(trace_dir / "stations.csv"),
                 "--days", "3",
                 "--clusters", "3",
@@ -665,3 +665,201 @@ class TestParallelCLI:
         serial = load_model(tmp_path / "serial-upd").result.vectorized.raw.traffic
         parallel = load_model(tmp_path / "parallel-upd").result.vectorized.raw.traffic
         assert np.allclose(parallel, serial, rtol=1e-9, atol=0.0)
+
+
+class TestTraceCLI:
+    """The --trace telemetry flag and the stats subcommand."""
+
+    STAGES = ("vectorize", "cluster", "tune", "label", "spectral", "decompose")
+
+    def _generate(self, trace_dir, *, towers=20, days=3, seed=9):
+        assert main(
+            [
+                "generate",
+                "--towers", str(towers),
+                "--users", "50",
+                "--days", str(days),
+                "--seed", str(seed),
+                "--output", str(trace_dir),
+            ]
+        ) == 0
+        return trace_dir
+
+    def test_traced_fit_prints_span_tree(self, capsys):
+        assert main(["fit", "--towers", "15", "--days", "7", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        for stage in self.STAGES:
+            assert stage in out
+
+    def test_traced_fit_writes_schema_valid_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(
+            ["fit", "--towers", "15", "--days", "7", "--trace", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-trace"
+        assert payload["schema_version"] == 1
+        (root,) = payload["spans"]
+        assert root["name"] == "fit"
+        assert [child["name"] for child in root["children"]] == list(self.STAGES)
+        for span in root["children"]:
+            assert span["wall_s"] >= 0.0
+            assert span["status"] in ("ok", "error")
+        assert "metrics" in payload
+
+    def test_traced_parallel_fit_records_worker_spans(self, tmp_path, capsys):
+        import json
+
+        trace_dir = self._generate(tmp_path / "gen")
+        target = tmp_path / "trace.json"
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--input", str(trace_dir / "trace.csv"),
+                "--stations", str(trace_dir / "stations.csv"),
+                "--days", "3",
+                "--clusters", "3",
+                "--chunk-size", "4000",
+                "--workers", "2",
+                "--save", str(bundle),
+                "--trace", str(target),
+            ]
+        ) == 0
+        payload = json.loads(target.read_text())
+        (root,) = payload["spans"]
+        names = [child["name"] for child in root["children"]]
+        assert names == ["ingest", *self.STAGES]
+        ingest = root["children"][0]
+        workers = [child["name"] for child in ingest["children"]]
+        assert workers == ["worker-0", "worker-1"]
+        total = sum(
+            child["counters"]["records_seen"] for child in ingest["children"]
+        )
+        assert total == ingest["counters"]["records_seen"] > 0
+        assert payload["metrics"]["counters"]["ingest.records_seen"] == total
+        # The sidecar next to the bundle carries the same trace.
+        sidecar = json.loads((bundle / "trace.json").read_text())
+        assert sidecar["schema"] == "repro-trace"
+        assert [span["name"] for span in sidecar["spans"]] == ["fit"]
+
+    def test_tracing_leaves_saved_bundle_identical(self, tmp_path, capsys):
+        import json
+
+        plain, traced = tmp_path / "plain", tmp_path / "traced"
+        for bundle, extra in ((plain, []), (traced, ["--trace"])):
+            assert main(
+                [
+                    "fit",
+                    "--towers", "15",
+                    "--days", "7",
+                    "--seed", "4",
+                    "--clusters", "3",
+                    "--save", str(bundle),
+                    *extra,
+                ]
+            ) == 0
+        # Every persisted array is bit-for-bit identical with and without
+        # tracing, and the manifest differs only in the wall-clock stage
+        # timings (which vary between *any* two runs).
+        assert (traced / "arrays.npz").read_bytes() == (plain / "arrays.npz").read_bytes()
+        manifests = []
+        for bundle in (plain, traced):
+            manifest = json.loads((bundle / "manifest.json").read_text())
+            manifest["extras"].pop("stage_timings")
+            manifests.append(manifest)
+        assert manifests[0] == manifests[1]
+        assert (traced / "trace.json").is_file()
+        assert not (plain / "trace.json").exists()
+
+    def test_trace_into_missing_directory_exits_2(self, capsys):
+        exit_code = main(
+            ["fit", "--towers", "10", "--trace", "/nonexistent/dir/trace.json"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "cannot write trace" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_target_directory_exits_2(self, tmp_path, capsys):
+        exit_code = main(["fit", "--towers", "10", "--trace", str(tmp_path)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "is a directory" in err
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.fixture()
+    def saved_bundle(self, tmp_path):
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "30",
+                "--users", "60",
+                "--days", "7",
+                "--seed", "11",
+                "--clusters", "4",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        return bundle
+
+    def test_traced_query_prints_query_spans(self, saved_bundle, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "--model", str(saved_bundle), "--decompose-all", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query:decompose_all" in out
+
+    def test_traced_update_writes_sidecar(self, saved_bundle, tmp_path, capsys):
+        import json
+
+        trace_dir = self._generate(tmp_path / "fresh", towers=30, days=7, seed=11)
+        updated = tmp_path / "updated"
+        assert main(
+            [
+                "update",
+                "--model", str(saved_bundle),
+                "--input", str(trace_dir / "trace.csv"),
+                "--save", str(updated),
+                "--trace",
+            ]
+        ) == 0
+        sidecar = json.loads((updated / "trace.json").read_text())
+        assert [span["name"] for span in sidecar["spans"]] == ["update"]
+
+    def test_stats_without_sidecar(self, saved_bundle, capsys):
+        capsys.readouterr()
+        assert main(["stats", "--model", str(saved_bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-traffic-model" in out
+        assert "stage timings" in out
+        assert "trace sidecar:    none" in out
+
+    def test_stats_renders_sidecar(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "15",
+                "--days", "7",
+                "--clusters", "3",
+                "--save", str(bundle),
+                "--trace",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "--model", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "trace (from trace.json sidecar):" in out
+        for stage in self.STAGES:
+            assert stage in out
+
+    def test_stats_missing_bundle_exits_2(self, tmp_path, capsys):
+        exit_code = main(["stats", "--model", str(tmp_path / "nope")])
+        assert exit_code == 2
+        assert "no such model bundle" in capsys.readouterr().err
