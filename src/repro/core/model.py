@@ -251,17 +251,19 @@ class TrafficPatternModel:
         return save_model(self.result, self.config, path)
 
     @classmethod
-    def load(cls, path: str | Path) -> TrafficPatternModel:
+    def load(cls, path: str | Path, *, mmap: bool = False) -> TrafficPatternModel:
         """Reconstruct a fitted model from a bundle written by :meth:`save`.
 
         The returned model carries the persisted configuration and result;
         queries (:meth:`decompose`, :meth:`predict_region`, …) work
         immediately, and :meth:`update` folds new traffic in without
-        refitting from zero.
+        refitting from zero.  ``mmap=True`` opens the arrays as read-only
+        memory maps (lazy page-in, no RSS doubling during a hot-swap); see
+        :func:`repro.io.persist.load_model`.
         """
         from repro.io.persist import load_model
 
-        loaded = load_model(path)
+        loaded = load_model(path, mmap=mmap)
         model = cls(loaded.config)
         model._result = loaded.result
         return model

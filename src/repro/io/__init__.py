@@ -5,7 +5,13 @@
   :func:`~repro.io.persist.load_model` round-trips;
 * :mod:`repro.io.server` — the in-process :class:`~repro.io.server.ModelServer`
   answering decompose / region / summary / pattern queries against a fitted
-  or loaded model without re-running the fit.
+  or loaded model without re-running the fit;
+* :mod:`repro.io.service` — the networked serving plane: a concurrent
+  HTTP/JSON front-end (:class:`~repro.io.service.ModelService`) with
+  micro-batched queries, a fingerprint-keyed read-through result cache and
+  atomic hot-swap of new bundles;
+* :mod:`repro.io.loadgen` — a multi-client HTTP load generator
+  (:func:`~repro.io.loadgen.run_load`) for benchmarking the service.
 """
 
 from repro.io.persist import (
@@ -19,6 +25,15 @@ from repro.io.persist import (
     save_model,
 )
 from repro.io.server import ModelServer, TowerPattern
+from repro.io.service import (
+    ModelService,
+    ResultCache,
+    ServiceError,
+    ServiceHandle,
+    model_fingerprint,
+    run_service,
+    start_service,
+)
 
 __all__ = [
     "ARRAYS_NAME",
@@ -26,9 +41,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "LoadedModel",
     "ModelServer",
+    "ModelService",
     "PersistError",
+    "ResultCache",
+    "ServiceError",
+    "ServiceHandle",
     "TowerPattern",
     "load_model",
+    "model_fingerprint",
     "read_manifest",
+    "run_service",
     "save_model",
+    "start_service",
 ]

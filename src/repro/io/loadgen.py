@@ -1,0 +1,211 @@
+"""Multi-client HTTP load generator for the serving plane.
+
+Drives a :mod:`repro.io.service` front-end the way production traffic
+would: ``clients`` threads, each with its own keep-alive HTTP connection,
+pulling requests from one shared workload and recording per-request
+latency and status.  Two modes:
+
+* **fixed workload** — every request in ``requests`` is executed exactly
+  once (spread across the clients); used for throughput/latency
+  comparisons where the response set must be checked for equivalence;
+* **sustained** (``duration_s``) — the workload is cycled until the clock
+  runs out; used to hammer the service while something else happens
+  (e.g. a hot-swap) and assert that nothing was dropped.
+
+Stdlib only (``http.client`` + threads), so benchmarks and tests need no
+extra dependencies.  The report separates transport failures (connection
+reset — ``transport_errors``) from HTTP error statuses so a "zero dropped
+requests" assertion can be written directly against it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One request of a workload."""
+
+    method: str
+    path: str
+    body: dict | None = None
+
+    def encoded_body(self) -> bytes | None:
+        if self.body is None:
+            return None
+        return json.dumps(self.body).encode("utf-8")
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    requests: int
+    seconds: float
+    status_counts: dict[int, int]
+    transport_errors: int
+    latencies_s: list[float]
+    #: ``(workload index, status, decoded JSON payload)`` per request, in
+    #: completion order; populated only when ``keep_responses=True``.
+    responses: list[tuple[int, int, Any]] | None = None
+    clients: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def error_requests(self) -> int:
+        """Requests that did not come back as HTTP 200."""
+        non_200 = sum(
+            count for status, count in self.status_counts.items() if status != 200
+        )
+        return non_200 + self.transport_errors
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank latency quantile in seconds (NaN when empty)."""
+        if not self.latencies_s:
+            return float("nan")
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (the benchmark's reporting shape)."""
+        return {
+            "requests": self.requests,
+            "clients": self.clients,
+            "seconds": self.seconds,
+            "qps": self.qps,
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "transport_errors": self.transport_errors,
+            "error_requests": self.error_requests,
+            "latency_p50_ms": self.latency_quantile(0.50) * 1000.0,
+            "latency_p99_ms": self.latency_quantile(0.99) * 1000.0,
+            **self.metadata,
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: Sequence[LoadRequest],
+    *,
+    clients: int = 8,
+    duration_s: float | None = None,
+    keep_responses: bool = False,
+    timeout_s: float = 30.0,
+) -> LoadReport:
+    """Fire ``requests`` at the service from ``clients`` concurrent connections.
+
+    With ``duration_s`` the workload is cycled (round-robin over its
+    indices) until the deadline; otherwise each request runs exactly once.
+    Every client keeps one persistent connection and reconnects once per
+    failure (counting a transport error), so a server restart mid-run shows
+    up in the report instead of crashing the generator.
+    """
+    if not requests:
+        raise ValueError("workload must contain at least one request")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    deadline = None if duration_s is None else time.perf_counter() + duration_s
+
+    def next_index() -> int | None:
+        with cursor_lock:
+            index = cursor[0]
+            if deadline is None and index >= len(requests):
+                return None
+            cursor[0] = index + 1
+        if deadline is not None:
+            if time.perf_counter() >= deadline:
+                return None
+            return index % len(requests)
+        return index
+
+    results: list[tuple[list[float], dict[int, int], int, list]] = []
+    results_lock = threading.Lock()
+
+    def client_main() -> None:
+        latencies: list[float] = []
+        statuses: dict[int, int] = {}
+        transport_errors = 0
+        kept: list[tuple[int, int, Any]] = []
+        connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        try:
+            while True:
+                index = next_index()
+                if index is None:
+                    break
+                request = requests[index]
+                started = time.perf_counter()
+                try:
+                    connection.request(
+                        request.method,
+                        request.path,
+                        body=request.encoded_body(),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    status = response.status
+                except (http.client.HTTPException, OSError):
+                    transport_errors += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s
+                    )
+                    continue
+                latencies.append(time.perf_counter() - started)
+                statuses[status] = statuses.get(status, 0) + 1
+                if keep_responses:
+                    try:
+                        decoded = json.loads(payload)
+                    except json.JSONDecodeError:
+                        decoded = None
+                    kept.append((index, status, decoded))
+        finally:
+            connection.close()
+        with results_lock:
+            results.append((latencies, statuses, transport_errors, kept))
+
+    threads = [
+        threading.Thread(target=client_main, name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    all_latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    transport_errors = 0
+    responses: list[tuple[int, int, Any]] = []
+    for latencies, statuses, errors, kept in results:
+        all_latencies.extend(latencies)
+        transport_errors += errors
+        responses.extend(kept)
+        for status, count in statuses.items():
+            status_counts[status] = status_counts.get(status, 0) + count
+
+    return LoadReport(
+        requests=len(all_latencies),
+        seconds=elapsed,
+        status_counts=status_counts,
+        transport_errors=transport_errors,
+        latencies_s=all_latencies,
+        responses=responses if keep_responses else None,
+        clients=clients,
+    )

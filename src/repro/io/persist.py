@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -359,14 +361,47 @@ def read_manifest(path: str | Path) -> dict:
     return manifest
 
 
-def _load_arrays(bundle: Path, manifest: dict) -> dict[str, np.ndarray]:
+def _read_arrays_mmap(arrays_path: Path) -> dict[str, np.ndarray]:
+    """Open every archive member as a read-only memory map.
+
+    ``np.load(..., mmap_mode=...)`` cannot map members of a (compressed) NPZ
+    archive directly, so each ``<key>.npy`` member is decompressed once to a
+    scratch directory — next to the archive when writable, so the pages are
+    backed by the same filesystem, else the system temp dir — and mapped
+    from there with ``np.load(member, mmap_mode="r")``.  On POSIX the
+    scratch files are unlinked immediately (the mappings stay valid), so
+    nothing is left on disk; array pages are faulted in lazily and stay
+    evictable, which keeps a hot-swap from holding two full models in RSS.
+    """
+    parent = arrays_path.parent
+    scratch_parent = parent if os.access(parent, os.W_OK) else None
+    tmpdir = tempfile.mkdtemp(prefix=".repro-mmap-", dir=scratch_parent)
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(arrays_path) as archive:
+            for member in archive.namelist():
+                extracted = archive.extract(member, tmpdir)
+                key = member[: -len(".npy")] if member.endswith(".npy") else member
+                arrays[key] = np.load(extracted, mmap_mode="r")
+    finally:
+        # POSIX semantics: unlinking a mapped file leaves the mapping
+        # usable; on platforms where the files are still open this leaves
+        # the scratch directory behind rather than failing the load.
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return arrays
+
+
+def _load_arrays(bundle: Path, manifest: dict, *, mmap: bool = False) -> dict[str, np.ndarray]:
     """Load and integrity-check the bundle's arrays."""
     arrays_path = bundle / ARRAYS_NAME
     if not arrays_path.is_file():
         raise PersistError(f"{bundle}: not a model bundle (missing {ARRAYS_NAME})")
     try:
-        with np.load(arrays_path) as archive:
-            arrays = {key: archive[key] for key in archive.files}
+        if mmap:
+            arrays = _read_arrays_mmap(arrays_path)
+        else:
+            with np.load(arrays_path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
     except (
         OSError,
         ValueError,
@@ -388,12 +423,18 @@ def _load_arrays(bundle: Path, manifest: dict) -> dict[str, np.ndarray]:
     return arrays
 
 
-def load_model(path: str | Path) -> LoadedModel:
+def load_model(path: str | Path, *, mmap: bool = False) -> LoadedModel:
     """Read a model bundle back into a :class:`LoadedModel`.
 
     The reconstruction is bit-for-bit: every array compares equal to what
     :func:`save_model` was given, so the loaded result answers every query
     identically to the original in-memory fit.
+
+    With ``mmap=True`` every array is opened as a read-only memory map
+    instead of being materialised in RAM: pages fault in on first touch and
+    stay evictable, so loading a second large bundle next to a live one —
+    the serving plane's hot-swap — does not double the peak RSS.  The
+    arrays compare equal either way; they are just not writable.
 
     Raises
     ------
@@ -404,7 +445,7 @@ def load_model(path: str | Path) -> LoadedModel:
     """
     bundle = Path(path)
     manifest = read_manifest(bundle)
-    arrays = _load_arrays(bundle, manifest)
+    arrays = _load_arrays(bundle, manifest, mmap=mmap)
 
     def need(key: str) -> np.ndarray:
         if key not in arrays:

@@ -18,6 +18,7 @@ per query.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -91,6 +92,13 @@ class ModelServer:
         self._result = model.result  # fail fast when not fitted
         self._decompose_cache: dict[int, ConvexDecomposition] = {}
         self._batch_decomposition: BatchDecomposition | None = None
+        self._known_towers = frozenset(int(t) for t in self._result.tower_ids)
+        # One server may be shared by a thread pool (repro.io.service); the
+        # lock guards the memoised whole-city batch so concurrent callers
+        # solve it exactly once (double-checked: the fast path reads the
+        # reference without locking, which is safe because the batch is
+        # immutable once published).
+        self._lock = threading.Lock()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queries = self.metrics.counter("server.queries")
@@ -106,9 +114,16 @@ class ModelServer:
         *,
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        mmap: bool = False,
     ) -> "ModelServer":
-        """Open a persisted model bundle and serve queries against it."""
-        return cls(TrafficPatternModel.load(path), tracer=tracer, metrics=metrics)
+        """Open a persisted model bundle and serve queries against it.
+
+        ``mmap=True`` memory-maps the bundle arrays so a hot-swapping
+        front-end can load the next model without doubling peak RSS.
+        """
+        return cls(
+            TrafficPatternModel.load(path, mmap=mmap), tracer=tracer, metrics=metrics
+        )
 
     # -- introspection -------------------------------------------------
 
@@ -130,6 +145,15 @@ class ModelServer:
     def tower_ids(self) -> list[int]:
         """Return every tower id the model can answer queries for."""
         return [int(tower_id) for tower_id in self._result.tower_ids]
+
+    def has_tower(self, tower_id: int) -> bool:
+        """Whether ``tower_id`` is known to the model.
+
+        Front-ends batching several clients' requests into one solve use
+        this to reject an unknown tower up front instead of failing the
+        whole coalesced batch.
+        """
+        return int(tower_id) in self._known_towers
 
     # -- query bookkeeping ---------------------------------------------
 
@@ -180,8 +204,11 @@ class ModelServer:
             if cached is not None:
                 self._cache_hits.inc()
                 return cached
-            if self._batch_decomposition is not None:
-                decomposition = self._batch_decomposition.decomposition_of(key)
+            # Read the memoised batch reference once: a concurrent
+            # invalidate() may swap it to None between check and use.
+            batch = self._batch_decomposition
+            if batch is not None:
+                decomposition = batch.decomposition_of(key)
                 self._cache_hits.inc()
                 self._batch_reuse.inc()
             else:
@@ -199,13 +226,12 @@ class ModelServer:
         """
         with self._query("decompose_many"):
             ids = [int(tower_id) for tower_id in tower_ids]
-            if self._batch_decomposition is not None:
+            memoised = self._batch_decomposition
+            if memoised is not None:
                 self._cache_hits.inc()
                 self._batch_reuse.inc()
-                rows = np.array(
-                    [self._batch_decomposition.row_of(key) for key in ids], dtype=int
-                )
-                return self._batch_decomposition.take(rows)
+                rows = np.array([memoised.row_of(key) for key in ids], dtype=int)
+                return memoised.take(rows)
             self._cache_misses.inc()
             batch = self._model.decompose_towers(ids)
             for index, key in enumerate(ids):
@@ -221,13 +247,20 @@ class ModelServer:
         cached result.
         """
         with self._query("decompose_all"):
-            if self._batch_decomposition is None:
-                self._cache_misses.inc()
-                self._batch_decomposition = self._model.decompose_all()
-            else:
-                self._cache_hits.inc()
-                self._batch_reuse.inc()
-            return self._batch_decomposition
+            batch = self._batch_decomposition
+            if batch is None:
+                # Double-checked lock: concurrent first callers must agree on
+                # exactly one whole-city solve, not race to run it N times.
+                with self._lock:
+                    batch = self._batch_decomposition
+                    if batch is None:
+                        self._cache_misses.inc()
+                        batch = self._model.decompose_all()
+                        self._batch_decomposition = batch
+                        return batch
+            self._cache_hits.inc()
+            self._batch_reuse.inc()
+            return batch
 
     def predict_region(self, tower_id: int) -> RegionType:
         """Return the urban functional region inferred for one tower."""
@@ -285,6 +318,8 @@ class ModelServer:
         The cumulative counters are *not* reset — they describe the
         server's lifetime, not the current cache generation.
         """
-        self._result = self._model.result
-        self._decompose_cache.clear()
-        self._batch_decomposition = None
+        with self._lock:
+            self._result = self._model.result
+            self._known_towers = frozenset(int(t) for t in self._result.tower_ids)
+            self._decompose_cache.clear()
+            self._batch_decomposition = None

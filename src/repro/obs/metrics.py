@@ -32,6 +32,7 @@ so ``quantile`` is exact whenever the rank falls on a boundary.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Any, Iterable
 
@@ -62,22 +63,28 @@ DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric.
 
-    __slots__ = ("name", "value")
+    Safe to ``inc`` concurrently from several threads (the serving plane's
+    thread pool shares one registry across all request handlers).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         amount = int(amount)
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> int:
         return int(self.value)
@@ -113,7 +120,16 @@ class Histogram:
         the last bound land in an implicit overflow bucket.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "low", "high")
+    __slots__ = (
+        "name",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "low",
+        "high",
+        "_lock",
+    )
 
     kind = "histogram"
 
@@ -134,18 +150,23 @@ class Histogram:
         self.total = 0.0
         self.low = math.inf
         self.high = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (thread-safe)."""
         value = float(value)
-        # Right-closed buckets: the first bound >= value owns it.
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.low:
-            self.low = value
-        if value > self.high:
-            self.high = value
+        bucket = bisect_left(self.bounds, value)
+        # Right-closed buckets: the first bound >= value owns it.  The
+        # count/sum/min/max quartet must stay mutually consistent under the
+        # serving plane's concurrent observers, hence the lock.
+        with self._lock:
+            self.bucket_counts[bucket] += 1
+            self.count += 1
+            self.total += value
+            if value < self.low:
+                self.low = value
+            if value > self.high:
+                self.high = value
 
     def quantile(self, q: float) -> float:
         """Return the interpolated ``q``-quantile (``0 <= q <= 1``).
@@ -200,17 +221,23 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created lazily and snapshotted as one dict."""
+    """Named instruments, created lazily and snapshotted as one dict.
+
+    Get-or-create is thread-safe, so request handlers running on a thread
+    pool can share one registry without pre-registering their instruments.
+    """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind: str):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif instrument.kind != kind:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+        if instrument.kind != kind:
             raise ValueError(
                 f"metric {name!r} is already registered as a "
                 f"{instrument.kind}, not a {kind}"
@@ -243,9 +270,11 @@ class MetricsRegistry:
             {"counters": {name: int}, "gauges": {name: float},
              "histograms": {name: {count, sum, min, max, p50, p95, p99}}}
         """
+        with self._lock:
+            instruments = dict(self._instruments)
         out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        for name in sorted(instruments):
+            instrument = instruments[name]
             out[instrument.kind + "s"][name] = instrument.snapshot()
         return out
 

@@ -863,3 +863,87 @@ class TestTraceCLI:
         exit_code = main(["stats", "--model", str(tmp_path / "nope")])
         assert exit_code == 2
         assert "no such model bundle" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "bundle"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8350
+        assert args.serve_workers == 4
+        assert args.batch_window_ms == 2.0
+        assert args.max_batch == 64
+        assert args.cache_size == 4096
+        assert args.no_mmap is False
+
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--port", "70000"],
+            ["--port", "-1"],
+            ["--workers", "0"],
+            ["--batch-window-ms", "-1"],
+            ["--max-batch", "0"],
+            ["--cache-size", "-1"],
+        ],
+    )
+    def test_invalid_options_exit_2(self, flags, capsys):
+        exit_code = main(["serve", "--model", "bundle", *flags])
+        assert exit_code == 2
+        assert "repro-traffic: error:" in capsys.readouterr().err
+
+    def test_missing_bundle_exits_2(self, tmp_path, capsys):
+        exit_code = main(["serve", "--model", str(tmp_path / "nope"), "--port", "0"])
+        assert exit_code == 2
+        assert "no such model bundle" in capsys.readouterr().err
+
+
+class TestStatsURL:
+    @pytest.fixture(scope="class")
+    def saved_bundle(self, tmp_path_factory):
+        bundle = tmp_path_factory.mktemp("serve-cli") / "bundle"
+        assert main(
+            [
+                "fit",
+                "--towers", "20",
+                "--days", "7",
+                "--clusters", "3",
+                "--save", str(bundle),
+            ]
+        ) == 0
+        return bundle
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["stats"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert main(["stats", "--model", "b", "--url", "http://x"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_unreachable_url_exits_2(self, capsys):
+        exit_code = main(["stats", "--url", "http://127.0.0.1:1"])
+        assert exit_code == 2
+        assert "cannot fetch serving stats" in capsys.readouterr().err
+
+    def test_renders_live_snapshot(self, saved_bundle, capsys):
+        import json as json_module
+        import urllib.request
+
+        from repro.io.service import ModelService, start_service
+
+        capsys.readouterr()
+        with start_service(ModelService(saved_bundle)) as handle:
+            tower = json_module.loads(
+                urllib.request.urlopen(handle.url + "/summary", timeout=30).read()
+            )
+            assert tower["num_towers"] == 20
+            assert main(["stats", "--url", handle.url]) == 0
+        out = capsys.readouterr().out
+        assert f"live serving stats from {handle.url}" in out
+        assert "model fingerprint:" in out
+        assert "result cache:" in out
+        assert "micro-batching:" in out
+        assert str(saved_bundle) in out

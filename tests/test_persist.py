@@ -305,3 +305,46 @@ class TestModelServer:
         server.decompose(server.tower_ids()[0])
         server.invalidate()
         assert server.stats()["decompose_cache_size"] == 0
+
+
+class TestMmapLoad:
+    """``load_model(..., mmap=True)`` — file-backed arrays, identical values."""
+
+    def test_mmap_round_trip_bit_for_bit(self, fitted_model, tmp_path):
+        bundle = fitted_model.save(tmp_path / "bundle")
+        eager = load_model(bundle)
+        mapped = load_model(bundle, mmap=True)
+        _assert_results_equal(eager.result, mapped.result)
+        assert mapped.manifest == eager.manifest
+
+    def test_mmap_arrays_are_file_backed(self, fitted_model, tmp_path):
+        bundle = fitted_model.save(tmp_path / "bundle")
+        mapped = load_model(bundle, mmap=True)
+        vectors = mapped.result.vectorized.vectors
+        # Dataclass coercion (np.asarray) may rewrap the memmap as a
+        # zero-copy ndarray view; either way the buffer stays on disk.
+        assert isinstance(vectors, np.memmap) or isinstance(vectors.base, np.memmap)
+
+    def test_mmap_leaves_no_scratch_behind(self, fitted_model, tmp_path):
+        bundle = fitted_model.save(tmp_path / "bundle")
+        load_model(bundle, mmap=True)
+        leftovers = [
+            p for p in bundle.parent.rglob("*") if ".repro-mmap-" in p.name
+        ]
+        assert leftovers == []
+
+    def test_mmap_model_queries_match_eager(self, fitted_model, tmp_path):
+        bundle = fitted_model.save(tmp_path / "bundle")
+        eager = TrafficPatternModel.load(bundle)
+        mapped = TrafficPatternModel.load(bundle, mmap=True)
+        assert np.array_equal(
+            mapped.decompose_all().coefficients, eager.decompose_all().coefficients
+        )
+        tower = int(eager.result.tower_ids[0])
+        assert mapped.predict_region(tower) is eager.predict_region(tower)
+
+    def test_mmap_corrupt_bundle_still_fails_loudly(self, fitted_model, tmp_path):
+        bundle = fitted_model.save(tmp_path / "bundle")
+        (bundle / ARRAYS_NAME).write_bytes(b"not a zip archive")
+        with pytest.raises(PersistError):
+            load_model(bundle, mmap=True)

@@ -1,0 +1,457 @@
+"""Tests for repro.io.service — the networked serving plane.
+
+Covers the three perf layers of the HTTP front-end (micro-batching,
+read-through result cache, atomic hot-swap), the HTTP surface itself
+(routing, error mapping, keep-alive transport), and the thread-safety of
+the underlying :class:`ModelServer` under concurrent hammering.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.model import TrafficPatternModel
+from repro.io.loadgen import LoadRequest, run_load
+from repro.io.server import ModelServer
+from repro.io.service import (
+    ModelService,
+    ResultCache,
+    ServiceError,
+    model_fingerprint,
+    start_service,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.synth.scenario import ScenarioConfig, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def second_model():
+    """A second, differently-seeded fitted model (hot-swap target)."""
+    scenario = generate_scenario(
+        ScenarioConfig(num_towers=40, num_users=200, num_days=7, seed=77)
+    )
+    model = TrafficPatternModel(ModelConfig(max_clusters=6))
+    model.fit(scenario.traffic, city=scenario.city)
+    return model
+
+
+@pytest.fixture(scope="module")
+def bundle(fitted_model, tmp_path_factory):
+    return fitted_model.save(tmp_path_factory.mktemp("bundles") / "bundle_a")
+
+
+@pytest.fixture(scope="module")
+def second_bundle(second_model, tmp_path_factory):
+    return second_model.save(tmp_path_factory.mktemp("bundles") / "bundle_b")
+
+
+def make_service(fitted_model, **overrides) -> ModelService:
+    options = {"batch_window_s": 0.005, "cache_entries": 0}
+    options.update(overrides)
+    return ModelService(server=ModelServer(fitted_model), **options)
+
+
+def run_concurrently(service: ModelService, coros):
+    async def main():
+        try:
+            return await asyncio.gather(*coros)
+        finally:
+            await asyncio.sleep(0)
+
+    try:
+        return asyncio.run(main())
+    finally:
+        service.close()
+
+
+class TestModelFingerprint:
+    def test_stable_and_short(self, fitted_model):
+        first = model_fingerprint(fitted_model.result)
+        assert first == model_fingerprint(fitted_model.result)
+        assert len(first) == 16
+
+    def test_distinguishes_models(self, fitted_model, second_model):
+        assert model_fingerprint(fitted_model.result) != model_fingerprint(
+            second_model.result
+        )
+
+
+class TestResultCache:
+    def test_read_through_counts_hits_and_misses(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(4, metrics=metrics)
+        assert cache.get(("fp", "k", 1)) is None
+        cache.put(("fp", "k", 1), {"v": 1})
+        assert cache.get(("fp", "k", 1)) == {"v": 1}
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_hits"] == 1
+
+    def test_lru_eviction_order(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(2, metrics=metrics)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh "a": now "b" is LRU
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+        assert metrics.snapshot()["counters"]["service.cache_evictions"] == 1
+
+    def test_zero_entries_disables_caching(self):
+        cache = ResultCache(0)
+        cache.put(("a",), 1)
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_clear_counts_evictions(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(8, metrics=metrics)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert metrics.snapshot()["counters"]["service.cache_evictions"] == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+
+class TestMicroBatching:
+    def test_concurrent_decomposes_coalesce_into_one_solve(self, fitted_model):
+        """N concurrent requests for distinct towers → exactly one batch solve,
+        bit-for-bit equal to the serial path on the same id group."""
+        service = make_service(fitted_model, batch_window_s=0.05)
+        server = service.active.server
+        towers = server.tower_ids()[:12]
+
+        calls: list[list[int]] = []
+        original = server.decompose_many
+
+        def counting(ids):
+            calls.append(list(ids))
+            return original(ids)
+
+        server.decompose_many = counting
+        try:
+            rows = run_concurrently(
+                service, [service.decompose([tower]) for tower in towers]
+            )
+        finally:
+            server.decompose_many = original
+
+        assert len(calls) == 1, f"expected one coalesced solve, saw {len(calls)}"
+        assert calls[0] == towers
+
+        # Bit-for-bit against the serial path over the identical id group.
+        reference = ModelServer(fitted_model).decompose_many(towers).as_rows()
+        assert [row for (row,) in rows] == reference
+
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.batch_flushes.decompose"] == 1
+        assert counters["service.batched_requests.decompose"] == len(towers)
+        stats = server.stats()
+        assert stats["decompose_cache_misses"] == 1
+        assert stats["queries"] == 1
+
+    def test_duplicate_keys_share_one_future(self, fitted_model):
+        service = make_service(fitted_model, batch_window_s=0.05)
+        tower = service.active.server.tower_ids()[0]
+        rows = run_concurrently(
+            service, [service.decompose([tower]) for _ in range(5)]
+        )
+        assert all(row == rows[0] for row in rows)
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.batched_requests.decompose"] == 1
+        assert counters["service.coalesced_requests.decompose"] == 4
+
+    def test_bad_tower_rejected_before_joining_a_batch(self, fitted_model):
+        service = make_service(fitted_model)
+        results = run_concurrently(
+            service,
+            [
+                service.decompose([service.active.server.tower_ids()[0]]),
+                service.dispatch("GET", "/decompose/999999", b""),
+                service.dispatch("GET", "/decompose/not-a-number", b""),
+            ],
+        )
+        assert len(results[0]) == 1
+        assert results[1][0] == 404
+        assert results[2][0] == 400
+
+    def test_region_requests_batch_too(self, fitted_model):
+        service = make_service(fitted_model, batch_window_s=0.05)
+        towers = service.active.server.tower_ids()[:6]
+        rows = run_concurrently(
+            service, [service.region([tower]) for tower in towers]
+        )
+        for tower, (row,) in zip(towers, rows):
+            assert row["tower_id"] == tower
+            assert row["region"] == fitted_model.predict_region(tower).value
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.batch_flushes.region"] == 1
+
+
+class TestReadThroughCache:
+    def test_repeat_query_is_served_from_cache(self, fitted_model):
+        service = make_service(fitted_model, cache_entries=64)
+        tower = service.active.server.tower_ids()[0]
+        async def twice():
+            first = await service.dispatch("GET", f"/pattern/{tower}", b"")
+            second = await service.dispatch("GET", f"/pattern/{tower}", b"")
+            return first, second
+
+        try:
+            first, second = asyncio.run(twice())
+        finally:
+            service.close()
+        assert first == second == (200, first[1])
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.cache_hits"] >= 1
+
+    def test_cache_keys_include_fingerprint(self, fitted_model, second_model):
+        """The same query against a different model can never alias."""
+        fp_a = model_fingerprint(fitted_model.result)
+        fp_b = model_fingerprint(second_model.result)
+        cache = ResultCache(16)
+        cache.put((fp_a, "decompose", 3), {"model": "a"})
+        assert cache.get((fp_b, "decompose", 3)) is None
+
+
+class TestHTTPSurface:
+    @pytest.fixture(scope="class")
+    def live(self, bundle):
+        with start_service(ModelService(bundle, batch_window_s=0.001)) as handle:
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            yield handle, connection
+            connection.close()
+
+    def fetch(self, live, method, path, body=None):
+        _, connection = live
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(
+            method, path, body=payload, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+
+    def test_healthz(self, live):
+        status, payload = self.fetch(live, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["generation"] == 1
+        assert len(payload["model_fingerprint"]) == 16
+
+    def test_summary(self, live, fitted_model):
+        status, payload = self.fetch(live, "GET", "/summary")
+        assert status == 200
+        assert payload["num_clusters"] == fitted_model.result.num_clusters
+        assert payload["clusters"] == fitted_model.result.percentage_table()
+
+    def test_single_tower_routes(self, live, fitted_model):
+        tower = int(fitted_model.result.tower_ids[1])
+        status, pattern = self.fetch(live, "GET", f"/pattern/{tower}")
+        assert status == 200 and pattern["tower_id"] == tower
+        status, row = self.fetch(live, "GET", f"/decompose/{tower}")
+        assert status == 200 and row["tower_id"] == tower
+        assert sum(row["coefficients"].values()) == pytest.approx(1.0)
+        status, region = self.fetch(live, "GET", f"/region/{tower}")
+        assert status == 200
+        assert region["region"] == fitted_model.predict_region(tower).value
+
+    def test_batch_post_routes(self, live, fitted_model):
+        towers = [int(t) for t in fitted_model.result.tower_ids[:5]]
+        status, payload = self.fetch(live, "POST", "/decompose", {"towers": towers})
+        assert status == 200
+        assert [row["tower_id"] for row in payload["decompositions"]] == towers
+        status, payload = self.fetch(live, "POST", "/region", {"towers": towers})
+        assert status == 200
+        assert [row["tower_id"] for row in payload["regions"]] == towers
+
+    def test_stats_schema(self, live):
+        status, payload = self.fetch(live, "GET", "/stats")
+        assert status == 200
+        assert payload["service"]["generation"] == 1
+        assert payload["service"]["requests"] >= 1
+        assert "cache" in payload["service"]
+        assert "queries" in payload["server"]
+        assert "counters" in payload["metrics"]
+
+    def test_error_mapping(self, live):
+        assert self.fetch(live, "GET", "/decompose/999999")[0] == 404
+        assert self.fetch(live, "GET", "/nope")[0] == 404
+        assert self.fetch(live, "POST", "/decompose", {"towers": []})[0] == 400
+        assert self.fetch(live, "POST", "/decompose", {"bogus": 1})[0] == 400
+        assert self.fetch(live, "DELETE", "/healthz")[0] == 405
+        _, connection = live
+        connection.request(
+            "POST", "/decompose", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        response.read()
+
+
+class TestHotSwap:
+    def test_reload_swaps_generation_and_fingerprint(self, bundle, second_bundle):
+        with start_service(ModelService(bundle, batch_window_s=0.001)) as handle:
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+
+            def post_reload(target):
+                connection.request(
+                    "POST", "/reload",
+                    body=json.dumps({"model": str(target)}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                return response.status, json.loads(response.read())
+
+            status, before = post_reload(second_bundle)
+            assert status == 200
+            assert before["generation"] == 2
+            connection.request("GET", "/healthz")
+            health = json.loads(connection.getresponse().read())
+            assert health["generation"] == 2
+            assert health["model_fingerprint"] == before["model_fingerprint"]
+            assert health["model_path"] == str(second_bundle)
+
+            # A failed reload reports 400 and keeps the current generation.
+            status, payload = post_reload(second_bundle.parent / "missing")
+            assert status == 400 and "error" in payload
+            connection.request("GET", "/healthz")
+            health = json.loads(connection.getresponse().read())
+            assert health["generation"] == 2
+            connection.close()
+
+    def test_reload_invalidates_cached_results(self, bundle, second_bundle):
+        service = ModelService(bundle, batch_window_s=0.001, cache_entries=64)
+        direct_b = ModelServer.from_artifact(second_bundle)
+        tower = direct_b.tower_ids()[0]
+
+        async def scenario():
+            before = (await service.decompose([tower]))[0]
+            assert len(service.cache) >= 1
+            swap = await service.reload(second_bundle)
+            assert swap["status"] == "ok"
+            assert len(service.cache) == 0
+            after = (await service.decompose([tower]))[0]
+            return before, after
+
+        try:
+            before, after = asyncio.run(scenario())
+        finally:
+            service.close()
+        reference = direct_b.decompose_many([tower]).as_rows()[0]
+        assert after == reference
+        assert before != after
+
+    def test_in_memory_service_cannot_reload(self, fitted_model):
+        service = make_service(fitted_model)
+        with pytest.raises(ServiceError) as excinfo:
+            try:
+                asyncio.run(service.reload())
+            finally:
+                service.close()
+        assert excinfo.value.status == 400
+
+    def test_sustained_load_survives_hot_swap(self, bundle, second_bundle):
+        """Zero dropped requests while the model is swapped mid-stream."""
+        service = ModelService(bundle, batch_window_s=0.001, cache_entries=64)
+        towers = ModelServer.from_artifact(bundle).tower_ids()[:10]
+        workload = [LoadRequest("GET", f"/decompose/{t}") for t in towers]
+        with start_service(service) as handle:
+            swapped = threading.Event()
+
+            def swapper():
+                request_body = json.dumps({"model": str(second_bundle)}).encode()
+                connection = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=30
+                )
+                connection.request(
+                    "POST", "/reload", body=request_body,
+                    headers={"Content-Type": "application/json"},
+                )
+                assert connection.getresponse().status == 200
+                connection.close()
+                swapped.set()
+
+            timer = threading.Timer(0.15, swapper)
+            timer.start()
+            report = run_load(
+                handle.host, handle.port, workload, clients=4, duration_s=0.6
+            )
+            timer.join()
+        assert swapped.is_set()
+        assert report.error_requests == 0, report.status_counts
+        assert report.requests > 0
+
+
+class TestModelServerThreadSafety:
+    def test_concurrent_first_calls_solve_exactly_once(self, fitted_model):
+        """The decompose_all memo must not race: one whole-city solve total."""
+        server = ModelServer(fitted_model)
+        calls = []
+        original = fitted_model.decompose_all
+
+        def counting():
+            calls.append(1)
+            return original()
+
+        fitted_model.decompose_all = counting
+        try:
+            results = [None] * 16
+            barrier = threading.Barrier(16)
+
+            def hammer(index):
+                barrier.wait()
+                results[index] = server.decompose_all()
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,)) for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            fitted_model.decompose_all = original
+
+        assert len(calls) == 1, f"expected one whole-city solve, got {len(calls)}"
+        assert all(result is results[0] for result in results)
+        assert server.stats()["decompose_cache_misses"] == 1
+
+    def test_concurrent_mixed_queries_are_consistent(self, fitted_model):
+        server = ModelServer(fitted_model)
+        towers = server.tower_ids()[:8]
+        reference = {t: server.decompose(t).coefficients for t in towers}
+        errors = []
+
+        def hammer():
+            try:
+                for tower in towers:
+                    np.testing.assert_array_equal(
+                        server.decompose(tower).coefficients, reference[tower]
+                    )
+                server.decompose_many(towers)
+                server.stats()
+            except Exception as err:  # pragma: no cover - failure reporting
+                errors.append(err)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
